@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one benchmark module that regenerates it and
+asserts its acceptance criterion (DESIGN.md section 6).  The workload
+scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.25): raise it for tighter, slower numbers::
+
+    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic end-to-end simulations, so repeated
+    rounds only re-measure the same work; one round keeps the full
+    harness (all tables and figures) at laptop scale.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

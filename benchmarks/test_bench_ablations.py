@@ -1,0 +1,63 @@
+"""Regenerates the ablation studies (design choices beyond the paper)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_bench_technique_comparison(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: ablations.technique_comparison(scale=bench_scale)
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row["pbs_cycles"] < row["baseline_cycles"]
+
+
+def test_bench_inflight_depth(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: ablations.inflight_depth_sweep(scale=bench_scale)
+    )
+    print()
+    print(result.render())
+    assert all(row["hit_rate"] > 0.9 for row in result.rows)
+
+
+def test_bench_capacity(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: ablations.capacity_sweep(scale=bench_scale)
+    )
+    print()
+    print(result.render())
+    by_capacity = {row["prob_btb_entries"]: row for row in result.rows}
+    assert by_capacity[4]["hit_rate"] > by_capacity[1]["hit_rate"]
+
+
+def test_bench_context_support(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: ablations.context_support(scale=bench_scale)
+    )
+    print()
+    print(result.render())
+    assert all(row["hit_rate_with"] > 0.5 for row in result.rows)
+
+
+def test_bench_predictor_sweep(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: ablations.predictor_sweep(scale=bench_scale)
+    )
+    print()
+    print(result.render())
+    # PBS reduces MPKI under every predictor in the sweep.
+    assert all(row["reduction_%"] > 0 for row in result.rows)
+
+
+def test_bench_history_insertion(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: ablations.history_insertion(scale=bench_scale)
+    )
+    print()
+    print(result.render())
+    bandit = next(r for r in result.rows if r["benchmark"] == "bandit")
+    assert bandit["pbs_mpki_with_insert"] <= bandit["pbs_mpki_without_insert"]

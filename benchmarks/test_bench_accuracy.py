@@ -1,0 +1,18 @@
+"""Regenerates the Section VII-D output-accuracy study."""
+
+from conftest import run_once
+
+from repro.experiments import accuracy
+
+
+def test_bench_accuracy(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: accuracy.run(scale=max(bench_scale, 0.25), seeds=tuple(range(8))),
+    )
+    print()
+    print(result.render())
+    # Acceptance: every benchmark's deviation is acceptable (zero-ish
+    # error, or within Monte Carlo noise, or overlapping CIs for genetic).
+    for row in result.rows:
+        assert row["verdict"].startswith("ok"), row

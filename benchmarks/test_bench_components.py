@@ -1,0 +1,111 @@
+"""Microbenchmarks of the simulation substrates themselves.
+
+These measure the library's own throughput (instructions simulated per
+second, branch predictions per second, PBS transactions per second) so
+performance regressions in the simulator are visible.
+"""
+
+import random
+
+from repro.branch import TageSCL, Tournament
+from repro.core import PBSEngine
+from repro.functional import Executor
+from repro.functional.executor import ProbGroup
+from repro.isa import F, ProgramBuilder, R
+from repro.workloads import get_workload
+
+
+def build_alu_loop(iterations=20_000):
+    b = ProgramBuilder("alu")
+    b.li(R(1), 0)
+    b.label("top")
+    b.add(R(2), R(1), 7)
+    b.mul(R(3), R(2), 3)
+    b.xor(R(4), R(3), R(2))
+    b.add(R(1), R(1), 1)
+    b.blt(R(1), iterations, "top")
+    b.halt()
+    return b.build()
+
+
+def test_bench_functional_executor(benchmark):
+    program = build_alu_loop()
+
+    def run():
+        executor = Executor(program, seed=1)
+        executor.run()
+        return executor.retired
+
+    retired = benchmark(run)
+    assert retired > 100_000
+
+
+def test_bench_executor_with_sink(benchmark):
+    program = build_alu_loop(8_000)
+
+    def run():
+        executor = Executor(program, seed=1)
+        count = [0]
+        executor.run(sink=lambda e: count.__setitem__(0, count[0] + 1))
+        return count[0]
+
+    assert benchmark(run) > 40_000
+
+
+def test_bench_tournament_prediction(benchmark):
+    rng = random.Random(3)
+    stream = [(rng.randrange(64) * 2, rng.random() < 0.6) for _ in range(20_000)]
+
+    def run():
+        predictor = Tournament()
+        for pc, taken in stream:
+            predictor.predict(pc)
+            predictor.update(pc, taken)
+        return len(stream)
+
+    benchmark(run)
+
+
+def test_bench_tagescl_prediction(benchmark):
+    rng = random.Random(3)
+    stream = [(rng.randrange(64) * 2, rng.random() < 0.6) for _ in range(20_000)]
+
+    def run():
+        predictor = TageSCL()
+        for pc, taken in stream:
+            predictor.predict(pc)
+            predictor.update(pc, taken)
+        return len(stream)
+
+    benchmark(run)
+
+
+def test_bench_pbs_transactions(benchmark):
+    rng = random.Random(5)
+    values = [rng.random() for _ in range(20_000)]
+
+    def run():
+        engine = PBSEngine()
+        hits = 0
+        for value in values:
+            group = ProbGroup(100, "lt", value < 0.5, 0.5, [40], [value])
+            if engine.transact(group).mode == "hit":
+                hits += 1
+        return hits
+
+    assert benchmark(run) > 15_000
+
+
+def test_bench_full_stack_pi(benchmark):
+    """One complete timed PBS simulation of the PI benchmark."""
+    from repro.pipeline import OoOCore, four_wide
+
+    workload = get_workload("pi")
+
+    def run():
+        core = OoOCore(four_wide(), TageSCL())
+        workload.run(scale=0.25, seed=1, pbs=PBSEngine(), sink=core.feed)
+        return core.finalize().ipc
+
+    ipc = benchmark(run)
+    assert ipc > 2.0

@@ -1,0 +1,15 @@
+"""Regenerates Figure 1 and checks its qualitative claim."""
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: figure1.run(scale=bench_scale))
+    print()
+    print(result.render())
+    # Acceptance: probabilistic branches cause a disproportionate share
+    # of mispredictions on every benchmark.
+    for row in result.rows:
+        assert row["tournament_miss_share_%"] >= row["prob_branch_share_%"]

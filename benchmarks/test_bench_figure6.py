@@ -1,0 +1,23 @@
+"""Regenerates Figure 6 (MPKI reduction through PBS)."""
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_bench_figure6(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: figure6.run(scale=bench_scale))
+    print()
+    print(result.render())
+    rows = result.rows[:-1]  # drop the average row
+    # Acceptance: PBS reduces MPKI everywhere; near-total reduction for
+    # the benchmarks whose misses are dominated by probabilistic branches.
+    for row in rows:
+        assert row["tournament_reduction_%"] > 0, row
+        assert row["tagescl_reduction_%"] > 0, row
+    prob_dominated = {"dop", "greeks", "mc-integ", "pi"}
+    for row in rows:
+        if row["benchmark"] in prob_dominated:
+            assert row["tagescl_reduction_%"] > 90
+    average = result.rows[-1]
+    assert average["tagescl_reduction_%"] > 30  # paper: 44.8%

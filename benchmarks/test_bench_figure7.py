@@ -1,0 +1,20 @@
+"""Regenerates Figure 7 (normalized IPC, 4-wide core)."""
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: figure7.run(scale=bench_scale))
+    print()
+    print(result.render())
+    rows = result.rows[:-1]
+    # Acceptance: PBS improves IPC for every benchmark on both predictors.
+    for row in rows:
+        assert row["ipc_tournament+pbs"] >= row["ipc_tournament"], row
+        assert row["ipc_tage-sc-l+pbs"] >= row["ipc_tage-sc-l"], row
+    # Paper's return-on-investment claim: tournament+PBS >= plain TAGE-SC-L.
+    geomean = result.rows[-1]
+    assert geomean["norm_tournament+pbs"] > geomean["norm_tage-sc-l"]
+    assert geomean["norm_tage-sc-l+pbs"] > 1.0

@@ -1,0 +1,28 @@
+"""Regenerates Figure 8 (normalized IPC, 8-wide core) and checks that the
+wider pipeline benefits more from PBS than the 4-wide one (the paper's
+13.8%/10.8% vs 9.0%/6.7% claim, in relative terms)."""
+
+from conftest import run_once
+
+from repro.experiments import figure7, figure8
+
+
+def test_bench_figure8(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: figure8.run(scale=bench_scale))
+    print()
+    print(result.render())
+    rows = result.rows[:-1]
+    for row in rows:
+        assert row["ipc_tage-sc-l+pbs"] >= row["ipc_tage-sc-l"], row
+
+    # The wider core must gain at least as much from PBS (geomean).
+    narrow = figure7.run(scale=bench_scale)
+    wide_gain = result.rows[-1]["norm_tage-sc-l+pbs"] / result.rows[-1][
+        "norm_tage-sc-l"
+    ]
+    narrow_gain = narrow.rows[-1]["norm_tage-sc-l+pbs"] / narrow.rows[-1][
+        "norm_tage-sc-l"
+    ]
+    assert wide_gain >= 0.95 * narrow_gain
+    print(f"\nPBS gain over TAGE-SC-L: 4-wide {narrow_gain:.3f}x, "
+          f"8-wide {wide_gain:.3f}x")

@@ -1,0 +1,19 @@
+"""Regenerates Figure 9 (branch predictor interference)."""
+
+from conftest import run_once
+
+from repro.experiments import figure9
+
+
+def test_bench_figure9(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: figure9.run(scale=bench_scale, seeds=tuple(range(5))),
+    )
+    print()
+    print(result.render())
+    # Acceptance: interference exists for at least some benchmarks on the
+    # small tournament predictor, and stays within a small percent range.
+    tournament = [row["tournament_increase_%"] for row in result.rows]
+    assert any(value > 0 for value in tournament)
+    assert all(value < 60 for value in tournament)

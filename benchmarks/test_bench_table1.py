@@ -1,0 +1,22 @@
+"""Regenerates Table I (applicability of predication and CFD)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, lambda: table1.run(verify=True))
+    print()
+    print(result.render())
+    applicable_predication = sum(
+        1 for row in result.rows if row["predication"].startswith("yes")
+    )
+    applicable_cfd = sum(
+        1 for row in result.rows if row["cfd"].startswith("yes")
+    )
+    # Paper: predication applies to 3 of 8, CFD to 5 of 8, PBS to all.
+    assert applicable_predication == 3
+    assert applicable_cfd == 5
+    assert all(row["pbs"] == "yes" for row in result.rows)
+    assert not any("DIVERGES" in str(row) for row in result.rows)

@@ -1,0 +1,17 @@
+"""Regenerates Table II (benchmark characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: table2.run(scale=bench_scale))
+    print()
+    print(result.render())
+    assert len(result.rows) == 8
+    # Our static probabilistic branch counts match the paper exactly.
+    for row in result.rows:
+        ours = row["prob/total (ours)"].split("/")[0]
+        paper = row["prob/total (paper)"].split("/")[0]
+        assert ours == paper

@@ -1,0 +1,18 @@
+"""Regenerates Table III (randomness of the PBS value stream)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: table3.run(scale=max(bench_scale, 0.25), seeds=tuple(range(7))),
+    )
+    print()
+    print(result.render())
+    # Acceptance (the paper's bottom line): the PASS/WEAK/FAIL confidence
+    # intervals of the original and PBS-ordered streams overlap.
+    for row in result.rows:
+        assert row["CIs overlap"] == "yes", row

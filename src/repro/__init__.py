@@ -1,0 +1,20 @@
+"""repro: a reproduction of "Architectural Support for Probabilistic
+Branches" (Adileh, Lilja, Eeckhout — MICRO 2018).
+
+The package implements the paper's Probabilistic Branch Support (PBS)
+mechanism and every substrate its evaluation depends on:
+
+* :mod:`repro.isa` — a RISC-like ISA with ``PROB_CMP``/``PROB_JMP``.
+* :mod:`repro.functional` — a functional (committed-path) simulator.
+* :mod:`repro.branch` — tournament and TAGE-SC-L branch predictors.
+* :mod:`repro.core` — the PBS hardware model (Prob-BTB, SwapTable,
+  Prob-in-Flight, Context-Table).
+* :mod:`repro.pipeline` — an out-of-order interval timing model.
+* :mod:`repro.memory` — cache hierarchy.
+* :mod:`repro.workloads` — the paper's eight probabilistic benchmarks.
+* :mod:`repro.transforms` — predication and control-flow decoupling.
+* :mod:`repro.stats` — randomness battery and confidence intervals.
+* :mod:`repro.experiments` — the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"

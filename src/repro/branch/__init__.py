@@ -1,0 +1,38 @@
+"""Branch predictors: the paper's two baselines plus building blocks."""
+
+from .base import BranchPredictor, saturating_update
+from .budget import KIB, BudgetReport, predictor_budget
+from .corrector import StatisticalCorrector
+from .folded import FoldedHistory
+from .harness import BranchStats, PredictorHarness, measure_mpki
+from .loop import LoopPredictor
+from .perceptron import Perceptron
+from .perfect import PerfectPredictor
+from .simple import AlwaysNotTaken, AlwaysTaken, Bimodal, GShare, TwoLevelLocal
+from .tage import Tage
+from .tagescl import TageSCL
+from .tournament import Tournament
+
+__all__ = [
+    "BranchPredictor",
+    "saturating_update",
+    "KIB",
+    "BudgetReport",
+    "predictor_budget",
+    "StatisticalCorrector",
+    "FoldedHistory",
+    "BranchStats",
+    "PredictorHarness",
+    "measure_mpki",
+    "LoopPredictor",
+    "Perceptron",
+    "PerfectPredictor",
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "Bimodal",
+    "GShare",
+    "TwoLevelLocal",
+    "Tage",
+    "TageSCL",
+    "Tournament",
+]

@@ -1,0 +1,73 @@
+"""Storage-budget accounting for predictors and PBS hardware.
+
+The paper leans on hardware cost arguments (a 1 KB tournament predictor,
+an 8 KB TAGE-SC-L, and 193 bytes for the whole of PBS), so we keep the
+bit-level arithmetic in one audited place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import BranchPredictor
+
+KIB = 8 * 1024  # bits per KiB
+
+
+class BudgetReport:
+    """A named storage breakdown with a budget check."""
+
+    def __init__(self, name: str, budget_bits: int):
+        self.name = name
+        self.budget_bits = budget_bits
+        self.items: Dict[str, int] = {}
+
+    def add(self, label: str, bits: int) -> None:
+        self.items[label] = self.items.get(label, 0) + bits
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.items.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+    @property
+    def within_budget(self) -> bool:
+        return self.total_bits <= self.budget_bits
+
+    def render(self) -> str:
+        lines = [f"{self.name}: budget {self.budget_bits} bits"]
+        for label, bits in sorted(self.items.items()):
+            lines.append(f"  {label:30s} {bits:8d} bits ({bits / 8:8.1f} B)")
+        status = "OK" if self.within_budget else "OVER BUDGET"
+        lines.append(
+            f"  {'total':30s} {self.total_bits:8d} bits "
+            f"({self.total_bytes:8.1f} B) [{status}]"
+        )
+        return "\n".join(lines)
+
+
+def predictor_budget(predictor: BranchPredictor, budget_bits: int) -> BudgetReport:
+    """Budget report for a composed predictor.
+
+    Components exposing ``storage_bits`` as attributes named ``bimodal``,
+    ``gshare``, ``loop``, ``tage``, ``corrector`` or ``chooser`` are broken
+    out individually; anything else is lumped under the predictor name.
+    """
+    report = BudgetReport(predictor.name, budget_bits)
+    known_parts = ("bimodal", "gshare", "loop", "tage", "corrector")
+    found = False
+    for part in known_parts:
+        component = getattr(predictor, part, None)
+        if component is not None and hasattr(component, "storage_bits"):
+            report.add(part, component.storage_bits())
+            found = True
+    chooser = getattr(predictor, "chooser", None)
+    if chooser is not None:
+        report.add("chooser", len(chooser) * 2)
+        found = True
+    if not found:
+        report.add(predictor.name, predictor.storage_bits())
+    return report

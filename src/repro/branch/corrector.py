@@ -1,0 +1,118 @@
+"""Statistical corrector (the "SC" in TAGE-SC-L).
+
+TAGE occasionally insists on a wrong prediction for statistically biased
+branches (exactly the behaviour probabilistic branches trigger: a branch
+that is taken 70% of the time with no history correlation).  The corrector
+is a small GEHL-like perceptron over short histories plus a per-branch bias
+table; when its weighted vote disagrees confidently with TAGE, it overrides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .folded import FoldedHistory
+
+
+class StatisticalCorrector:
+    """GEHL-style corrector with one bias table and short-history tables."""
+
+    CTR_MIN, CTR_MAX = -32, 31  # 6-bit signed counters
+
+    def __init__(
+        self,
+        bias_entries: int = 512,
+        table_entries: int = 256,
+        history_lengths: Sequence[int] = (4, 10, 16),
+        tage_weight: int = 9,
+        threshold: int = 256,
+    ):
+        self.bias = [0] * bias_entries
+        self._bias_mask = bias_entries - 1
+        self.history_lengths = tuple(history_lengths)
+        self.tables: List[List[int]] = [
+            [0] * table_entries for _ in self.history_lengths
+        ]
+        self._table_mask = table_entries - 1
+        self._index_bits = table_entries.bit_length() - 1
+        self._folds = [
+            FoldedHistory(length, self._index_bits)
+            for length in self.history_lengths
+        ]
+        self._history = 0
+        self._history_mask = (1 << (max(history_lengths) + 2)) - 1
+        self.tage_weight = tage_weight
+        self.threshold = threshold
+        self._ctx = None
+
+    # ------------------------------------------------------------------
+    def _indices(self, pc: int, tage_pred: bool) -> List[int]:
+        pred_bit = 1 if tage_pred else 0
+        indices = [((pc << 1) | pred_bit) & self._bias_mask]
+        for fold in self._folds:
+            indices.append((pc ^ fold.comp) & self._table_mask)
+        return indices
+
+    def combine(self, pc: int, tage_pred: bool) -> bool:
+        """Final prediction given TAGE's proposal."""
+        indices = self._indices(pc, tage_pred)
+        total = 2 * self.bias[indices[0]] + 1
+        for table, index in zip(self.tables, indices[1:]):
+            total += 2 * table[index] + 1
+        total += self.tage_weight if tage_pred else -self.tage_weight
+        prediction = total >= 0
+        self._ctx = (indices, total, tage_pred)
+        return prediction
+
+    def update(self, pc: int, taken: bool) -> None:
+        if self._ctx is None:
+            self.combine(pc, False)
+        indices, total, tage_pred = self._ctx
+        self._ctx = None
+
+        prediction = total >= 0
+        # Train on mispredictions and on correct predictions whose margin
+        # is below the threshold.  The default threshold exceeds the
+        # maximum attainable |total|, i.e. the counters train on every
+        # branch: on i.i.d. biased branches (exactly what probabilistic
+        # branches look like) the counters then saturate at the bias sign
+        # instead of dithering around zero, which a small dead-zone
+        # threshold provokes (each update moves |total| by twice the
+        # number of tables, overshooting any small dead zone).
+        if prediction != taken or abs(total) <= self.threshold:
+            delta = 1 if taken else -1
+            index0 = indices[0]
+            self.bias[index0] = _clamp(self.bias[index0] + delta,
+                                       self.CTR_MIN, self.CTR_MAX)
+            for table, index in zip(self.tables, indices[1:]):
+                table[index] = _clamp(table[index] + delta,
+                                      self.CTR_MIN, self.CTR_MAX)
+
+        self._shift_history(taken)
+
+    def insert_history(self, pc: int, taken: bool) -> None:
+        self._ctx = None
+        self._shift_history(taken)
+
+    def _shift_history(self, taken: bool) -> None:
+        bit = 1 if taken else 0
+        self._history = ((self._history << 1) | bit) & self._history_mask
+        for fold in self._folds:
+            fold.update(self._history, bit)
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        counters = len(self.bias) + sum(len(t) for t in self.tables)
+        return counters * 6 + (max(self.history_lengths) + 2)
+
+    def reset(self) -> None:
+        self.bias = [0] * len(self.bias)
+        self.tables = [[0] * (self._table_mask + 1) for _ in self.history_lengths]
+        for fold in self._folds:
+            fold.reset()
+        self._history = 0
+        self._ctx = None
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    return lo if value < lo else hi if value > hi else value

@@ -1,0 +1,157 @@
+"""Trace-driven branch predictor harness and MPKI accounting.
+
+:class:`PredictorHarness` is a trace sink: feed it the functional
+simulator's events and it accumulates per-category misprediction counts.
+The categories mirror the paper's Figure 1: *probabilistic* branches
+(PROB_JMP instances that consult the predictor) versus *regular* branches.
+
+Two paper-specific behaviours live here:
+
+* **PBS bypass** — events marked :data:`ProbMode.PBS_HIT` never touch the
+  predictor: no prediction, no update, no history shift, and by
+  construction no misprediction (Section III-B: the direction is known at
+  fetch).
+* **Filtering** (Figure 9's interference experiment) — with
+  ``filter_probabilistic=True``, probabilistic branches do not access or
+  update the predictor even though PBS is off; their own mispredictions
+  are charged statically so regular-branch interference can be isolated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..functional.trace import ProbMode, TraceEvent
+from .base import BranchPredictor
+
+
+class BranchStats:
+    """Misprediction counters split by branch category."""
+
+    __slots__ = (
+        "instructions",
+        "regular_branches",
+        "regular_mispredicts",
+        "prob_branches",
+        "prob_mispredicts",
+        "pbs_hits",
+    )
+
+    def __init__(self):
+        self.instructions = 0
+        self.regular_branches = 0
+        self.regular_mispredicts = 0
+        self.prob_branches = 0
+        self.prob_mispredicts = 0
+        self.pbs_hits = 0
+
+    @property
+    def branches(self) -> int:
+        return self.regular_branches + self.prob_branches + self.pbs_hits
+
+    @property
+    def mispredicts(self) -> int:
+        return self.regular_mispredicts + self.prob_mispredicts
+
+    @property
+    def mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredicts / self.instructions
+
+    @property
+    def regular_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.regular_mispredicts / self.instructions
+
+    @property
+    def prob_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.prob_mispredicts / self.instructions
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "instructions": self.instructions,
+            "regular_branches": self.regular_branches,
+            "regular_mispredicts": self.regular_mispredicts,
+            "prob_branches": self.prob_branches,
+            "prob_mispredicts": self.prob_mispredicts,
+            "pbs_hits": self.pbs_hits,
+            "mpki": self.mpki,
+        }
+
+
+class PredictorHarness:
+    """Feeds conditional-branch events to a predictor and keeps stats."""
+
+    def __init__(
+        self,
+        predictor: BranchPredictor,
+        filter_probabilistic: bool = False,
+        pbs_inserts_history: bool = True,
+    ):
+        self.predictor = predictor
+        self.filter_probabilistic = filter_probabilistic
+        #: PBS knows the direction at fetch, so the hardware shifts it
+        #: into the predictor's history register for free (no table
+        #: access).  Keeps history-correlated regular branches accurate.
+        self.pbs_inserts_history = pbs_inserts_history
+        self.stats = BranchStats()
+
+    def __call__(self, event: TraceEvent) -> None:
+        stats = self.stats
+        stats.instructions += 1
+        if not event.is_cond_branch:
+            return
+
+        prob_mode = event.prob_mode
+        if prob_mode == ProbMode.PBS_HIT:
+            # PBS supplies the direction at fetch: the predictor is neither
+            # probed nor updated, and no misprediction is possible.
+            stats.pbs_hits += 1
+            if self.pbs_inserts_history:
+                self.predictor.insert_history(event.pc, event.taken)
+            return
+
+        is_prob = prob_mode == ProbMode.PREDICTED
+        if is_prob and self.filter_probabilistic:
+            # Figure 9 experiment: keep probabilistic branches out of the
+            # predictor; charge them a static not-taken prediction.
+            stats.prob_branches += 1
+            if event.taken:
+                stats.prob_mispredicts += 1
+            return
+
+        predictor = self.predictor
+        if predictor.perfect:
+            if is_prob:
+                stats.prob_branches += 1
+            else:
+                stats.regular_branches += 1
+            return
+
+        prediction = predictor.predict(event.pc)
+        predictor.update(event.pc, event.taken)
+        mispredicted = prediction != event.taken
+        if is_prob:
+            stats.prob_branches += 1
+            if mispredicted:
+                stats.prob_mispredicts += 1
+        else:
+            stats.regular_branches += 1
+            if mispredicted:
+                stats.regular_mispredicts += 1
+
+
+def measure_mpki(
+    events,
+    predictor: BranchPredictor,
+    filter_probabilistic: bool = False,
+) -> BranchStats:
+    """Convenience: run a stored event list through a fresh harness."""
+    harness = PredictorHarness(predictor, filter_probabilistic)
+    for event in events:
+        harness(event)
+    return harness.stats

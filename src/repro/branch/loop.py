@@ -1,0 +1,129 @@
+"""Loop predictor: recognises branches with a fixed trip count.
+
+The Pentium-M documents a loop-branch predictor alongside its bimodal and
+global components, and TAGE-SC-L ("L") carries one too.  The predictor
+learns the iteration count of a loop-closing branch and predicts the final
+(exit) iteration correctly — something counter-based predictors always get
+wrong once per loop execution.
+"""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+
+
+class _LoopEntry:
+    __slots__ = ("tag", "past_count", "current_count", "confidence", "age", "direction")
+
+    def __init__(self):
+        self.tag = -1
+        self.past_count = 0
+        self.current_count = 0
+        self.confidence = 0
+        self.age = 0
+        self.direction = True  # the "body" direction (usually taken)
+
+
+class LoopPredictor(BranchPredictor):
+    """Tagged loop-termination predictor.
+
+    An entry tracks ``past_count``, the trip count observed on the last
+    complete execution of the loop.  While ``confidence`` is saturated the
+    predictor asserts a hit: it predicts the body direction until
+    ``current_count`` reaches ``past_count``, then predicts the exit.
+
+    :meth:`predict` returns the plain direction guess; :meth:`hit` tells a
+    combiner whether the entry is confident enough to override.
+    """
+
+    MAX_CONFIDENCE = 3
+
+    def __init__(self, entries: int = 64, tag_bits: int = 10,
+                 count_bits: int = 12):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.count_bits = count_bits
+        self._max_count = (1 << count_bits) - 1
+        self.table = [_LoopEntry() for _ in range(entries)]
+        self._mask = entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._last_hit = False
+
+    @property
+    def name(self) -> str:
+        return f"loop-{self.entries}"
+
+    def _entry(self, pc: int) -> "_LoopEntry":
+        return self.table[pc & self._mask]
+
+    def _tag(self, pc: int) -> int:
+        return (pc >> (self.entries.bit_length() - 1)) & self._tag_mask
+
+    def hit(self, pc: int) -> bool:
+        """Whether this branch has a confident loop entry."""
+        entry = self._entry(pc)
+        return (
+            entry.tag == self._tag(pc)
+            and entry.confidence >= self.MAX_CONFIDENCE
+            and entry.past_count > 0
+        )
+
+    def predict(self, pc: int) -> bool:
+        entry = self._entry(pc)
+        if entry.tag != self._tag(pc) or entry.past_count == 0:
+            self._last_hit = False
+            return True
+        self._last_hit = entry.confidence >= self.MAX_CONFIDENCE
+        # past_count body iterations precede the exit, so the exit is the
+        # iteration at which current_count has already reached past_count.
+        if entry.current_count >= entry.past_count:
+            return not entry.direction  # the exit iteration
+        return entry.direction
+
+    def update(self, pc: int, taken: bool) -> None:
+        entry = self._entry(pc)
+        tag = self._tag(pc)
+        if entry.tag != tag:
+            # Allocate on a taken branch (candidate loop-closing branch).
+            if taken:
+                if entry.age > 0:
+                    entry.age -= 1
+                    return
+                entry.tag = tag
+                entry.past_count = 0
+                entry.current_count = 1
+                entry.confidence = 0
+                entry.age = 3
+                entry.direction = True
+            return
+
+        if taken == entry.direction:
+            entry.current_count += 1
+            if entry.current_count > self._max_count:
+                # Loop too long to track: give the entry up.
+                entry.tag = -1
+        else:
+            # The loop exited; compare with the recorded trip count.
+            if entry.past_count == entry.current_count:
+                if entry.confidence < self.MAX_CONFIDENCE:
+                    entry.confidence += 1
+            else:
+                entry.past_count = entry.current_count
+                entry.confidence = 0
+            entry.current_count = 0
+            entry.age = 3
+
+    def storage_bits(self) -> int:
+        per_entry = (
+            self.tag_bits
+            + 2 * self.count_bits  # past + current
+            + 2                    # confidence
+            + 2                    # age
+            + 1                    # direction
+        )
+        return self.entries * per_entry
+
+    def reset(self) -> None:
+        self.table = [_LoopEntry() for _ in range(self.entries)]

@@ -1,0 +1,104 @@
+"""Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+
+The paper's related-work section cites neural predictors; we provide one
+as an extra baseline for ablations.  Each branch hashes to a weight
+vector; prediction is the sign of the bias plus the dot product with the
+global history (±1 per outcome); training is the classic
+perceptron rule, gated by the misprediction/threshold condition
+theta = floor(1.93 * history_length + 14).
+
+Like every other baseline here, a probabilistic branch gives the
+perceptron nothing to correlate with: its accuracy floor on i.i.d.
+branches is min(p, 1-p), which is exactly the paper's motivation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import BranchPredictor
+
+
+class Perceptron(BranchPredictor):
+    """Global-history perceptron predictor."""
+
+    def __init__(
+        self,
+        entries: int = 128,
+        history_length: int = 24,
+        weight_bits: int = 8,
+    ):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.history_length = history_length
+        self.weight_bits = weight_bits
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        self.threshold = int(1.93 * history_length + 14)
+        # weights[i][0] is the bias weight.
+        self.weights: List[List[int]] = [
+            [0] * (history_length + 1) for _ in range(entries)
+        ]
+        self.history: List[int] = [1] * history_length  # +1 / -1
+        self._mask = entries - 1
+        self._ctx = None
+
+    @property
+    def name(self) -> str:
+        return f"perceptron-{self.entries}x{self.history_length}"
+
+    def predict(self, pc: int) -> bool:
+        row = self.weights[pc & self._mask]
+        total = row[0]
+        history = self.history
+        for index in range(self.history_length):
+            total += row[index + 1] * history[index]
+        self._ctx = (pc & self._mask, total)
+        return total >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        if self._ctx is None:
+            self.predict(pc)
+        index, total = self._ctx
+        self._ctx = None
+
+        outcome = 1 if taken else -1
+        mispredicted = (total >= 0) != taken
+        if mispredicted or abs(total) <= self.threshold:
+            row = self.weights[index]
+            row[0] = self._clip(row[0] + outcome)
+            history = self.history
+            for position in range(self.history_length):
+                row[position + 1] = self._clip(
+                    row[position + 1] + outcome * history[position]
+                )
+        self._shift(outcome)
+
+    def insert_history(self, pc: int, taken: bool) -> None:
+        self._ctx = None
+        self._shift(1 if taken else -1)
+
+    def _shift(self, outcome: int) -> None:
+        self.history.pop()
+        self.history.insert(0, outcome)
+
+    def _clip(self, weight: int) -> int:
+        if weight > self._weight_max:
+            return self._weight_max
+        if weight < self._weight_min:
+            return self._weight_min
+        return weight
+
+    def storage_bits(self) -> int:
+        return (
+            self.entries * (self.history_length + 1) * self.weight_bits
+            + self.history_length
+        )
+
+    def reset(self) -> None:
+        self.weights = [
+            [0] * (self.history_length + 1) for _ in range(self.entries)
+        ]
+        self.history = [1] * self.history_length
+        self._ctx = None

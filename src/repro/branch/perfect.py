@@ -1,0 +1,25 @@
+"""Perfect (oracle) predictor, used for speed-of-light comparisons."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+
+
+class PerfectPredictor(BranchPredictor):
+    """Never mispredicts.  The harness checks :attr:`perfect` and skips the
+    predict/compare dance entirely."""
+
+    perfect = True
+    name = "perfect"
+
+    def predict(self, pc: int) -> bool:  # pragma: no cover - never consulted
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def storage_bits(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,78 @@
+"""TAGE-SC-L: TAGE + statistical corrector + loop predictor, 8 KB budget.
+
+The paper's second baseline: "an 8 KB TAGE-SC-L predictor taken from the
+2016 Branch Prediction Championship" (Section VI-B).  Our from-scratch
+implementation keeps the championship predictor's structure — a TAGE core,
+a confident loop predictor that overrides, and a statistical corrector that
+can flip low-confidence TAGE predictions — within the same storage budget.
+
+Storage budget (default configuration):
+
+===========  =============================  =======
+component    configuration                  bits
+===========  =============================  =======
+TAGE base    4096 x 2-bit bimodal           8192
+TAGE tagged  6 tables x 512 x 14 bits       43008
+loop         32 entries x 41 bits           1312
+corrector    (512 + 3 x 256) x 6-bit        7628
+misc         histories, counters            ~200
+total                                       ~60340  (< 65536 = 8 KB)
+===========  =============================  =======
+"""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+from .corrector import StatisticalCorrector
+from .loop import LoopPredictor
+from .tage import Tage
+
+
+class TageSCL(BranchPredictor):
+    """The composed TAGE-SC-L predictor."""
+
+    def __init__(
+        self,
+        tage: Tage = None,
+        corrector: StatisticalCorrector = None,
+        loop: LoopPredictor = None,
+    ):
+        self.tage = tage if tage is not None else Tage()
+        self.corrector = (
+            corrector if corrector is not None else StatisticalCorrector()
+        )
+        self.loop = loop if loop is not None else LoopPredictor(entries=32)
+
+    @property
+    def name(self) -> str:
+        return "tage-sc-l-8kb"
+
+    def predict(self, pc: int) -> bool:
+        tage_pred = self.tage.predict(pc)
+        if self.loop.hit(pc):
+            # A confident loop entry overrides everything.
+            prediction = self.loop.predict(pc)
+            self.corrector.combine(pc, tage_pred)  # keep context coherent
+            return prediction
+        return self.corrector.combine(pc, tage_pred)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.tage.update(pc, taken)
+        self.corrector.update(pc, taken)
+        self.loop.update(pc, taken)
+
+    def insert_history(self, pc: int, taken: bool) -> None:
+        self.tage.insert_history(pc, taken)
+        self.corrector.insert_history(pc, taken)
+
+    def storage_bits(self) -> int:
+        return (
+            self.tage.storage_bits()
+            + self.corrector.storage_bits()
+            + self.loop.storage_bits()
+        )
+
+    def reset(self) -> None:
+        self.tage.reset()
+        self.corrector.reset()
+        self.loop.reset()

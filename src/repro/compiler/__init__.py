@@ -1,0 +1,24 @@
+"""Compiler support for PBS (paper §V-B): CFG, randomness taint analysis
+and automatic conversion of eligible branches to PROB_CMP/PROB_JMP."""
+
+from .autopbs import (
+    AutoPbsPass,
+    Candidate,
+    ConversionReport,
+    Rejection,
+    mark_probabilistic_branches,
+)
+from .cfg import BasicBlock, ControlFlowGraph, Loop
+from .dataflow import TaintAnalysis
+
+__all__ = [
+    "AutoPbsPass",
+    "Candidate",
+    "ConversionReport",
+    "Rejection",
+    "mark_probabilistic_branches",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Loop",
+    "TaintAnalysis",
+]

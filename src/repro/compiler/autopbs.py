@@ -1,0 +1,253 @@
+"""Automatic probabilistic-branch marking (paper §V-B).
+
+Implements the compiler side of PBS: identify branches controlled by
+randomness-derived values, verify the §IV correctness condition (the
+comparison partner must be invariant within the enclosing loop), and
+rewrite eligible compare/branch pairs into ``PROB_CMP``/``PROB_JMP``.
+
+Candidates come in two shapes:
+
+* a ``CMP`` immediately followed by ``JT``/``JF`` (the builder's
+  compare-and-jump idiom) — rewritten in place, negating the comparison
+  operator for ``JF``;
+* a fused conditional branch (``BLT`` etc.) — expanded into the
+  two-instruction probabilistic pair, with all branch targets remapped.
+
+Rejections mirror the paper's safety discussion: branches outside any
+loop (no context to replay within), branches whose comparison partner
+varies inside the loop (would trip the Const-Val check every iteration),
+branches where both operands are randomness-derived, and branches whose
+probabilistic value would exceed the configured swap budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import Op
+from ..isa.program import Program
+from ..isa.registers import COND, Reg
+from .cfg import ControlFlowGraph
+from .dataflow import TaintAnalysis
+
+_FUSED_OPERATOR = {
+    Op.BEQ: "eq", Op.BNE: "ne", Op.BLT: "lt",
+    Op.BGE: "ge", Op.BLE: "le", Op.BGT: "gt",
+}
+_NEGATED = {"lt": "ge", "ge": "lt", "le": "gt", "gt": "le",
+            "eq": "ne", "ne": "eq"}
+_MIRRORED = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le",
+             "eq": "eq", "ne": "ne"}
+
+
+@dataclass
+class Candidate:
+    """One branch the pass decided to convert."""
+
+    branch_pc: int
+    prob_operand: Reg
+    other_operand: object
+    operator: str
+    category: int           # 1 or 2 (paper §III-A)
+    shape: str              # 'cmp-jump' or 'fused'
+
+
+@dataclass
+class Rejection:
+    branch_pc: int
+    reason: str
+
+
+@dataclass
+class ConversionReport:
+    candidates: List[Candidate] = field(default_factory=list)
+    rejections: List[Rejection] = field(default_factory=list)
+
+    @property
+    def converted(self) -> int:
+        return len(self.candidates)
+
+    def render(self) -> str:
+        lines = [f"auto-PBS: {self.converted} branch(es) converted"]
+        for cand in self.candidates:
+            lines.append(
+                f"  @{cand.branch_pc}: {cand.shape}, category {cand.category}, "
+                f"value {cand.prob_operand.name} {cand.operator} "
+                f"{cand.other_operand}"
+            )
+        for rej in self.rejections:
+            lines.append(f"  @{rej.branch_pc}: rejected ({rej.reason})")
+        return "\n".join(lines)
+
+
+class AutoPbsPass:
+    """The marking pass.  Use :func:`mark_probabilistic_branches`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.cfg = ControlFlowGraph(program)
+        self.taint = TaintAnalysis(program, self.cfg)
+        self.report = ConversionReport()
+
+    # ------------------------------------------------------------------
+    # Candidate identification.
+    # ------------------------------------------------------------------
+    def _classify_operands(self, pc, a, b, operator):
+        """Which side is probabilistic?  Returns (prob, other, op) with the
+        probabilistic register first, or a rejection reason string."""
+        a_tainted = self.taint.is_tainted(pc, a)
+        b_tainted = self.taint.is_tainted(pc, b)
+        if a_tainted and b_tainted:
+            return "both operands randomness-derived (Const-Val would vary)"
+        if not a_tainted and not b_tainted:
+            return None  # simply not probabilistic; not an error
+        if a_tainted:
+            return (a, b, operator)
+        return (b, a, _MIRRORED[operator])
+
+    def _check_loop_invariance(self, pc, other) -> Optional[str]:
+        loop = self.cfg.innermost_loop(pc)
+        if loop is None:
+            return "not inside any loop (no replay context)"
+        if not self.cfg.is_loop_invariant(other, loop):
+            return "comparison partner varies within the loop (fails §IV)"
+        return None
+
+    def _category(self, branch_pc: int, prob_reg: Reg) -> int:
+        """Category 2 when the probabilistic value is read after the
+        branch before being overwritten (within the enclosing loop)."""
+        loop = self.cfg.innermost_loop(branch_pc)
+        end = loop.back_edge if loop else len(self.program.instructions) - 1
+        for pc in range(branch_pc + 1, end + 1):
+            inst = self.program.instructions[pc]
+            for src in inst.srcs:
+                if isinstance(src, Reg) and src.num == prob_reg.num:
+                    return 2
+            if inst.dest is not None and inst.dest.num == prob_reg.num:
+                return 1
+        return 1
+
+    def identify(self) -> ConversionReport:
+        instructions = self.program.instructions
+        for pc, inst in enumerate(instructions):
+            if inst.op is Op.CMP and pc + 1 < len(instructions):
+                follower = instructions[pc + 1]
+                if follower.op not in (Op.JT, Op.JF):
+                    continue
+                operator = inst.cmp_op if follower.op is Op.JT else _NEGATED[inst.cmp_op]
+                self._consider(pc + 1, inst.srcs[0], inst.srcs[1], operator,
+                               "cmp-jump")
+            elif inst.op in _FUSED_OPERATOR and inst.target is not None:
+                self._consider(pc, inst.srcs[0], inst.srcs[1],
+                               _FUSED_OPERATOR[inst.op], "fused")
+        return self.report
+
+    def _consider(self, branch_pc, a, b, operator, shape) -> None:
+        taint_pc = branch_pc if shape == "fused" else branch_pc - 1
+        outcome = self._classify_operands(taint_pc, a, b, operator)
+        if outcome is None:
+            return
+        if isinstance(outcome, str):
+            self.report.rejections.append(Rejection(branch_pc, outcome))
+            return
+        prob, other, operator = outcome
+        reason = self._check_loop_invariance(branch_pc, other)
+        if reason is not None:
+            self.report.rejections.append(Rejection(branch_pc, reason))
+            return
+        self.report.candidates.append(
+            Candidate(
+                branch_pc=branch_pc,
+                prob_operand=prob,
+                other_operand=other,
+                operator=operator,
+                category=self._category(branch_pc, prob),
+                shape=shape,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Rewriting.
+    # ------------------------------------------------------------------
+    def rewrite(self) -> Program:
+        """Emit a new program with all candidates converted."""
+        by_pc: Dict[int, Candidate] = {c.branch_pc: c for c in self.report.candidates}
+        instructions = self.program.instructions
+        new_instructions: List[Instruction] = []
+        pc_map: Dict[int, int] = {}
+
+        skip_next_cmp: Dict[int, Candidate] = {}
+        for cand in self.report.candidates:
+            if cand.shape == "cmp-jump":
+                skip_next_cmp[cand.branch_pc - 1] = cand
+
+        for pc, inst in enumerate(instructions):
+            pc_map[pc] = len(new_instructions)
+            if pc in skip_next_cmp:
+                cand = skip_next_cmp[pc]
+                new_instructions.append(
+                    Instruction(
+                        Op.PROB_CMP,
+                        dest=cand.prob_operand,
+                        srcs=(cand.prob_operand, cand.other_operand),
+                        cmp_op=cand.operator,
+                    )
+                )
+                continue
+            cand = by_pc.get(pc)
+            if cand is None:
+                new_instructions.append(self._copy(inst))
+                continue
+            if cand.shape == "cmp-jump":
+                new_instructions.append(
+                    Instruction(Op.PROB_JMP, dest=None, srcs=(COND,),
+                                target=inst.target)
+                )
+            else:  # fused: expand into the probabilistic pair
+                new_instructions.append(
+                    Instruction(
+                        Op.PROB_CMP,
+                        dest=cand.prob_operand,
+                        srcs=(cand.prob_operand, cand.other_operand),
+                        cmp_op=cand.operator,
+                    )
+                )
+                new_instructions.append(
+                    Instruction(Op.PROB_JMP, dest=None, srcs=(COND,),
+                                target=inst.target)
+                )
+
+        # Remap branch targets and labels to the new PC space.
+        for inst in new_instructions:
+            if inst.target is not None:
+                inst.target = pc_map[inst.target]
+        labels = {name: pc_map[pc] for name, pc in self.program.labels.items()}
+        return Program(
+            f"{self.program.name}-autopbs",
+            new_instructions,
+            labels=labels,
+            data_size=self.program.data_size,
+        )
+
+    @staticmethod
+    def _copy(inst: Instruction) -> Instruction:
+        return Instruction(
+            inst.op, dest=inst.dest, srcs=inst.srcs, cmp_op=inst.cmp_op,
+            target=inst.target, label=None, offset=inst.offset,
+        )
+
+
+def mark_probabilistic_branches(
+    program: Program,
+) -> Tuple[Program, ConversionReport]:
+    """Run the full §V-B pass: identify + rewrite.
+
+    Returns the converted program and the conversion report.  The input
+    program is not modified.
+    """
+    pass_ = AutoPbsPass(program)
+    pass_.identify()
+    converted = pass_.rewrite()
+    return converted, pass_.report

@@ -1,0 +1,142 @@
+"""Control-flow graph and loop structure over repro ISA programs.
+
+The auto-marking compiler pass (paper §V-B) needs two structural facts:
+basic blocks with successor edges (for the taint fixpoint) and loop
+extents (for the Const-Val invariance check of §IV).  Programs emitted by
+the builder are reducible with contiguous loop bodies, so loops are
+represented as PC intervals derived from backward branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import CONDITIONAL_BRANCH_OPS, Op
+from ..isa.program import Program
+from ..isa.registers import Reg
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    index: int
+    start: int           # first PC (inclusive)
+    end: int             # last PC (inclusive)
+    successors: Set[int] = field(default_factory=set)
+    predecessors: Set[int] = field(default_factory=set)
+
+    def pcs(self) -> range:
+        return range(self.start, self.end + 1)
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A natural loop as a contiguous PC interval."""
+
+    head: int            # loop entry PC (backward-branch target)
+    back_edge: int       # PC of the (largest) backward branch
+    def contains(self, pc: int) -> bool:
+        return self.head <= pc <= self.back_edge
+
+
+class ControlFlowGraph:
+    """Blocks, edges and loops of one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.blocks: List[BasicBlock] = []
+        self.block_of: Dict[int, int] = {}
+        self.loops: List[Loop] = []
+        self._build()
+        self._find_loops()
+
+    # ------------------------------------------------------------------
+    def _leaders(self) -> List[int]:
+        instructions = self.program.instructions
+        leaders = {0}
+        for pc, inst in enumerate(instructions):
+            if inst.target is not None:
+                leaders.add(inst.target)
+                if pc + 1 < len(instructions):
+                    leaders.add(pc + 1)
+            elif inst.op in (Op.RET, Op.HALT):
+                if pc + 1 < len(instructions):
+                    leaders.add(pc + 1)
+        return sorted(leaders)
+
+    def _build(self) -> None:
+        instructions = self.program.instructions
+        leaders = self._leaders()
+        bounds = leaders + [len(instructions)]
+        for index in range(len(leaders)):
+            start, end = bounds[index], bounds[index + 1] - 1
+            block = BasicBlock(index, start, end)
+            self.blocks.append(block)
+            for pc in range(start, end + 1):
+                self.block_of[pc] = index
+
+        for block in self.blocks:
+            last = instructions[block.end]
+            if last.op is Op.HALT:
+                continue
+            if last.op is Op.RET:
+                # Conservative: a RET may resume after any CALL site.
+                for pc, inst in enumerate(instructions):
+                    if inst.op is Op.CALL and pc + 1 < len(instructions):
+                        self._edge(block.index, self.block_of[pc + 1])
+                continue
+            if last.op is Op.JMP:
+                self._edge(block.index, self.block_of[last.target])
+                continue
+            if last.op is Op.CALL:
+                self._edge(block.index, self.block_of[last.target])
+                continue
+            if last.op in CONDITIONAL_BRANCH_OPS and last.target is not None:
+                self._edge(block.index, self.block_of[last.target])
+            if block.end + 1 < len(instructions):
+                self._edge(block.index, self.block_of[block.end + 1])
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.blocks[src].successors.add(dst)
+        self.blocks[dst].predecessors.add(src)
+
+    # ------------------------------------------------------------------
+    def _find_loops(self) -> None:
+        """Backward branches define loops; branches sharing a head merge."""
+        by_head: Dict[int, int] = {}
+        for pc, inst in enumerate(self.program.instructions):
+            if inst.target is not None and inst.target <= pc:
+                head = inst.target
+                by_head[head] = max(by_head.get(head, pc), pc)
+        self.loops = [
+            Loop(head, back_edge) for head, back_edge in sorted(by_head.items())
+        ]
+
+    def innermost_loop(self, pc: int) -> Optional[Loop]:
+        """Smallest loop interval containing ``pc``, or None."""
+        candidates = [loop for loop in self.loops if loop.contains(pc)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda loop: loop.back_edge - loop.head)
+
+    # ------------------------------------------------------------------
+    def writes_in_range(self, reg: Reg, start: int, end: int) -> bool:
+        """Is ``reg`` written anywhere in PCs [start, end]?"""
+        for pc in range(start, end + 1):
+            inst = self.program.instructions[pc]
+            if inst.dest is not None and inst.dest.num == reg.num:
+                return True
+        return False
+
+    def is_loop_invariant(self, operand, loop: Loop) -> bool:
+        """Immediates are invariant; registers must not be written in the
+        loop body (the §IV correctness condition, checked statically)."""
+        if not isinstance(operand, Reg):
+            return True
+        return not self.writes_in_range(operand, loop.head, loop.back_edge)
+
+    def instruction(self, pc: int) -> Instruction:
+        return self.program.instructions[pc]

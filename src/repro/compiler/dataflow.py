@@ -1,0 +1,114 @@
+"""Randomness taint analysis (paper §V-B).
+
+"The idea is to let the compiler track the location(s) in the code where
+random numbers are generated.  By tracing the instructions that depend on
+the random value, the compiler checks whether any of the probabilistic
+derivatives control a branch instruction."
+
+A register is *tainted* when its value derives from a RAND/RANDN result
+within the current iteration context.  The analysis is a forward may-
+fixpoint over the CFG: taint states (register bitmasks) merge by union,
+memory is a single conservative taint bit (any store of a tainted value
+taints every subsequent load).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa.opcodes import Op
+from ..isa.program import Program
+from ..isa.registers import COND_REG_NUM, NUM_REGS, Reg
+from .cfg import ControlFlowGraph
+
+_PURE_MOVE = {Op.MOV, Op.FMOV}
+_LOADS = {Op.LOAD, Op.FLOAD}
+_STORES = {Op.STORE, Op.FSTORE}
+_RAND = {Op.RAND, Op.RANDN}
+_COMPARES = {Op.CMP, Op.PROB_CMP}
+
+
+class TaintAnalysis:
+    """Per-instruction taint-in states for one program."""
+
+    def __init__(self, program: Program, cfg: ControlFlowGraph = None):
+        self.program = program
+        self.cfg = cfg if cfg is not None else ControlFlowGraph(program)
+        #: Taint bitmask over registers at the *entry* of each PC.
+        self.taint_in: List[int] = [0] * len(program.instructions)
+        self.memory_tainted = False
+        self._run()
+
+    # ------------------------------------------------------------------
+    def _transfer(self, pc: int, taint: int) -> int:
+        inst = self.program.instructions[pc]
+        op = inst.op
+
+        if op in _RAND:
+            return taint | (1 << inst.dest.num)
+
+        if op in _STORES:
+            value = inst.srcs[0]
+            if isinstance(value, Reg) and taint & (1 << value.num):
+                self.memory_tainted = True
+            return taint
+
+        if op in _LOADS:
+            bit = 1 << inst.dest.num
+            return (taint | bit) if self.memory_tainted else (taint & ~bit)
+
+        if op in _COMPARES:
+            src_tainted = any(
+                isinstance(src, Reg) and taint & (1 << src.num)
+                for src in inst.srcs
+            )
+            bit = 1 << COND_REG_NUM
+            taint = (taint | bit) if src_tainted else (taint & ~bit)
+            if op is Op.PROB_CMP and src_tainted:
+                taint |= 1 << inst.dest.num
+            return taint
+
+        if inst.dest is None:
+            return taint
+
+        bit = 1 << inst.dest.num
+        if op in _PURE_MOVE and not isinstance(inst.srcs[0], Reg):
+            return taint & ~bit  # constant load clears taint
+
+        src_tainted = any(
+            isinstance(src, Reg) and taint & (1 << src.num)
+            for src in inst.srcs
+        )
+        return (taint | bit) if src_tainted else (taint & ~bit)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        blocks = self.cfg.blocks
+        entry_taint: Dict[int, int] = {block.index: 0 for block in blocks}
+        changed = True
+        while changed:
+            changed = False
+            memory_before = self.memory_tainted
+            for block in blocks:
+                taint = entry_taint[block.index]
+                for pc in block.pcs():
+                    self.taint_in[pc] |= taint
+                    taint = self._transfer(pc, self.taint_in[pc])
+                for successor in block.successors:
+                    merged = entry_taint[successor] | taint
+                    if merged != entry_taint[successor]:
+                        entry_taint[successor] = merged
+                        changed = True
+            if self.memory_tainted != memory_before:
+                changed = True
+
+    # ------------------------------------------------------------------
+    def is_tainted(self, pc: int, operand) -> bool:
+        """Is ``operand`` randomness-derived at the entry of ``pc``?"""
+        if not isinstance(operand, Reg):
+            return False
+        return bool(self.taint_in[pc] & (1 << operand.num))
+
+    def tainted_registers(self, pc: int) -> List[int]:
+        taint = self.taint_in[pc]
+        return [reg for reg in range(NUM_REGS) if taint & (1 << reg)]

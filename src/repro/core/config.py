@@ -1,0 +1,60 @@
+"""PBS hardware configuration.
+
+Defaults mirror the paper's evaluated design point (Section VI-B):
+"PBS hardware support for four distinct probabilistic branches, with four
+outstanding branches in flight", two probabilistic values per branch, and
+a two-entry context table tracking the two innermost loops with one level
+of function calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PBSConfig:
+    """Sizing and policy knobs for the PBS hardware unit.
+
+    Attributes:
+        num_branches: Prob-BTB entries — distinct probabilistic branches
+            (per context) trackable simultaneously.
+        swap_entries: SwapTable entries shared by all branches; each holds
+            one extra probabilistic value beyond the Prob-BTB's own slot.
+        max_values_per_branch: cap on probabilistic values one branch may
+            swap (the paper observes at most two in real codes).
+        inflight_depth: outstanding instances between fetch and execute;
+            also the number of bootstrap executions and the replay lag.
+        context_entries: Context-Table entries (innermost loops tracked).
+        max_function_depth: function-call depth (from the active loop)
+            within which probabilistic branches are still tracked.
+        context_support: disable to index the Prob-BTB by PC alone — the
+            ablation the paper argues against in Section V-C1.
+        blacklist_on_const_mismatch: after a Const-Val mismatch, keep
+            treating the branch as regular until its context is flushed
+            (instead of immediately re-bootstrapping).
+        pc_bits / value_bits / phys_reg_bits: field widths used by the
+            hardware cost model (Section V-C2 uses 48/64/8).
+    """
+
+    num_branches: int = 4
+    swap_entries: int = 4
+    max_values_per_branch: int = 2
+    inflight_depth: int = 4
+    context_entries: int = 2
+    max_function_depth: int = 1
+    context_support: bool = True
+    blacklist_on_const_mismatch: bool = True
+    pc_bits: int = 48
+    value_bits: int = 64
+    phys_reg_bits: int = 8
+
+    def __post_init__(self):
+        if self.num_branches < 1:
+            raise ValueError("num_branches must be at least 1")
+        if self.inflight_depth < 1:
+            raise ValueError("inflight_depth must be at least 1")
+        if self.max_values_per_branch < 1:
+            raise ValueError("max_values_per_branch must be at least 1")
+        if self.context_entries < 1:
+            raise ValueError("context_entries must be at least 1")

@@ -1,0 +1,78 @@
+"""PBS hardware cost model (paper Section V-C2).
+
+Reproduces the paper's arithmetic exactly:
+
+* Prob-BTB entry: valid + T/NT + 48-bit branch PC + 48-bit target PC +
+  8-bit physical register index + 64-bit Const-Val + 1 loop bit +
+  48-bit function-call PC = 219 bits.
+* SwapTable entry: 48-bit PC + 3-bit Prob-BTB index + 8-bit physical
+  register index + valid = 60 bits.
+* Four branches with one SwapTable entry each: 4 x (219 + 60) / 8
+  = 139.5 bytes ("about 140 bytes").
+* Prob-in-Flight: 2 bytes per entry, entries for both the compare and the
+  jump of four outstanding branches = 16 bytes.
+* Context-Table: 2 entries x (three 48-bit addresses + two 3-bit
+  counters) = 300 bits = 37.5 bytes.
+* Total: 139.5 + 16 + 37.5 = **193 bytes**.
+"""
+
+from __future__ import annotations
+
+from ..branch.budget import BudgetReport
+from .config import PBSConfig
+
+
+def prob_btb_entry_bits(config: PBSConfig) -> int:
+    return (
+        1                      # valid
+        + 1                    # T/NT
+        + config.pc_bits       # branch PC
+        + config.pc_bits       # target PC
+        + config.phys_reg_bits # Pr-Phy value slot
+        + config.value_bits    # Const-Val
+        + 1                    # loop (context) bit
+        + config.pc_bits       # function-call PC
+    )
+
+
+def swap_table_entry_bits(config: PBSConfig) -> int:
+    return (
+        config.pc_bits         # PC tag
+        + 3                    # Prob-BTB index
+        + config.phys_reg_bits # physical register index
+        + 1                    # valid
+    )
+
+
+def inflight_entry_bits(config: PBSConfig) -> int:
+    # The paper budgets 2 bytes per Prob-in-Flight entry, with separate
+    # entries for the compare and the jump of each outstanding instance.
+    return 16
+
+
+def context_table_entry_bits(config: PBSConfig) -> int:
+    # Three 48-bit addresses (Loop-PC, Last-PC, Function-PC) and two
+    # 3-bit counters per entry.
+    return 3 * config.pc_bits + 2 * 3
+
+
+def hardware_cost(config: PBSConfig = None) -> BudgetReport:
+    """Full PBS storage report; 193 bytes at the paper's design point."""
+    if config is None:
+        config = PBSConfig()
+    report = BudgetReport("pbs-hardware", budget_bits=193 * 8)
+    report.add("prob-btb", config.num_branches * prob_btb_entry_bits(config))
+    report.add("swap-table", config.swap_entries * swap_table_entry_bits(config))
+    report.add(
+        "prob-in-flight",
+        2 * config.inflight_depth * inflight_entry_bits(config),
+    )
+    report.add(
+        "context-table",
+        config.context_entries * context_table_entry_bits(config),
+    )
+    return report
+
+
+def hardware_cost_bytes(config: PBSConfig = None) -> float:
+    return hardware_cost(config).total_bytes

@@ -1,0 +1,237 @@
+"""The PBS engine: ties the tables together and implements the protocol.
+
+The functional simulator calls :meth:`PBSEngine.transact` for every
+executed probabilistic branch group and :meth:`observe_branch` /
+:meth:`observe_call` / :meth:`observe_return` for the surrounding control
+flow.  The engine decides, per instance, between three modes:
+
+``hit``
+    The Prob-BTB steers fetch with a recorded direction; the recorded
+    probabilistic values are swapped into the registers and the newly
+    generated values enter the Prob-in-Flight table.  No prediction, no
+    possible misprediction (paper Section III-B).
+
+``boot``
+    Bootstrap: the instance executes as a regular branch while its record
+    is collected.  After ``inflight_depth`` records the oldest is pulled
+    into the Prob-BTB and the branch goes live.
+
+``regular``
+    PBS declines the branch: Const-Val mismatch, table capacity, too many
+    probabilistic values, unsupported call depth, or PBS disabled for the
+    branch after a safety flush.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..functional.executor import ProbDecision, ProbGroup
+from .config import PBSConfig
+from .context import ContextTable
+from .tables import BranchKey, InFlightRecord, ProbBTB, ProbInFlightTable, SwapTable
+
+
+class PBSStats:
+    """Aggregate PBS behaviour counters."""
+
+    __slots__ = (
+        "instances",
+        "hits",
+        "bootstraps",
+        "fallbacks",
+        "const_mismatches",
+        "capacity_rejects",
+        "swap_rejects",
+        "value_count_rejects",
+        "deep_call_rejects",
+        "loop_flushes",
+        "allocations",
+    )
+
+    def __init__(self):
+        self.instances = 0
+        self.hits = 0
+        self.bootstraps = 0
+        self.fallbacks = 0
+        self.const_mismatches = 0
+        self.capacity_rejects = 0
+        self.swap_rejects = 0
+        self.value_count_rejects = 0
+        self.deep_call_rejects = 0
+        self.loop_flushes = 0
+        self.allocations = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.instances if self.instances else 0.0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PBSEngine:
+    """Functional + structural model of the PBS hardware unit."""
+
+    def __init__(self, config: Optional[PBSConfig] = None):
+        self.config = config if config is not None else PBSConfig()
+        self.btb = ProbBTB(self.config.num_branches)
+        self.swap = SwapTable(self.config.swap_entries)
+        self.inflight = ProbInFlightTable(self.config.inflight_depth)
+        self.context = ContextTable(
+            entries=self.config.context_entries,
+            max_function_depth=self.config.max_function_depth,
+            on_flush=self._flush_loop_slot,
+        )
+        self.stats = PBSStats()
+        self._blacklist: Set[BranchKey] = set()
+
+    # ------------------------------------------------------------------
+    # Control-flow observation (drives the Context-Table).
+    # ------------------------------------------------------------------
+    def observe_branch(self, pc: int, taken: bool, target: Optional[int]) -> None:
+        if self.config.context_support:
+            self.context.observe_branch(pc, taken, target)
+
+    def observe_call(self, pc: int) -> None:
+        if self.config.context_support:
+            self.context.observe_call(pc)
+
+    def observe_return(self, pc: int) -> None:
+        if self.config.context_support:
+            self.context.observe_return(pc)
+
+    # ------------------------------------------------------------------
+    # The probabilistic branch transaction.
+    # ------------------------------------------------------------------
+    def transact(self, group: ProbGroup) -> ProbDecision:
+        self.stats.instances += 1
+
+        key = self._branch_key(group)
+        if key is None:
+            # Function-call depth beyond the supported level: PBS treats
+            # the branch as regular (paper §V-C1).
+            self.stats.deep_call_rejects += 1
+            self.stats.fallbacks += 1
+            return ProbDecision("regular", group.cond)
+
+        if key in self._blacklist:
+            self.stats.fallbacks += 1
+            return ProbDecision("regular", group.cond)
+
+        entry = self.btb.lookup(key)
+        if entry is None:
+            entry = self._try_allocate(key, group)
+            if entry is None:
+                self.stats.fallbacks += 1
+                return ProbDecision("regular", group.cond)
+
+        # Const-Val safety check: the comparison constant must not change
+        # within a context (paper §IV, §V-C1).
+        if entry.const_val != group.const_value:
+            self.stats.const_mismatches += 1
+            self._release(key)
+            if self.config.blacklist_on_const_mismatch:
+                self._blacklist.add(key)
+            self.stats.fallbacks += 1
+            return ProbDecision("regular", group.cond)
+
+        # Record the newly generated values and outcome for a future
+        # instance (push at execute).
+        self.inflight.push(key, InFlightRecord(group.cond, list(group.values)))
+
+        if entry.record is None:
+            # Bootstrap: behave as a regular branch; pull a record into
+            # the Prob-BTB once enough instances are outstanding.
+            self.stats.bootstraps += 1
+            entry.record = self.inflight.pull_if_ready(key)
+            return ProbDecision("boot", group.cond)
+
+        # Steady state: replay the stored record, then pull the next one.
+        record = entry.record
+        self.stats.hits += 1
+        entry.record = self.inflight.pull_if_ready(key)
+        return ProbDecision("hit", record.taken, record.values)
+
+    # ------------------------------------------------------------------
+    def _branch_key(self, group: ProbGroup) -> Optional[BranchKey]:
+        if not self.config.context_support:
+            return (group.jmp_pc, -1, 0)
+        context = self.context.current_context()
+        if context is None:
+            return None
+        return (group.jmp_pc, context[0], context[1])
+
+    def _try_allocate(self, key: BranchKey, group: ProbGroup):
+        num_values = len(group.regs)
+        if num_values > self.config.max_values_per_branch:
+            self.stats.value_count_rejects += 1
+            return None
+        if self.btb.full:
+            victim = self.btb.evict_candidate(active_slot=key[1])
+            if victim is None:
+                self.stats.capacity_rejects += 1
+                return None
+            self._release(victim)
+        if not self.swap.allocate(key, max(0, num_values - 1)):
+            self.stats.swap_rejects += 1
+            return None
+        entry = self.btb.allocate(key, 0, group.const_value, num_values)
+        if entry is None:  # pragma: no cover - guarded by btb.full above
+            self.swap.release(key)
+            return None
+        self.stats.allocations += 1
+        return entry
+
+    def _release(self, key: BranchKey) -> None:
+        self.btb.invalidate(key)
+        self.swap.release(key)
+        self.inflight.release(key)
+
+    def _flush_loop_slot(self, slot: int) -> None:
+        """Loop terminated or evicted: clear its branches everywhere."""
+        victims = self.btb.flush_loop_slot(slot)
+        for key in victims:
+            self.swap.release(key)
+            self.inflight.release(key)
+            self.stats.loop_flushes += 1
+        # Blacklist entries die with their context.
+        self._blacklist = {key for key in self._blacklist if key[1] != slot}
+
+    # ------------------------------------------------------------------
+    # Context-switch support (paper §V-C2): "we recommend storing the 193
+    # bytes of state information maintained by PBS and retrieving it when
+    # the context resumes.  By doing so, PBS resumes its execution without
+    # incurring an additional initialization phase."
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        """Hand off the architectural PBS state (the 193 bytes).
+
+        The tables are transferred by ownership: after ``save_state`` the
+        caller typically calls :meth:`reset` (the other process gets a
+        cold PBS unit) and later :meth:`restore_state` to resume without
+        a fresh bootstrap phase.
+        """
+        return {
+            "btb": self.btb,
+            "swap": self.swap,
+            "inflight": self.inflight,
+            "context": self.context.snapshot(),
+            "blacklist": set(self._blacklist),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Resume from a snapshot taken by :meth:`save_state`."""
+        self.btb = snapshot["btb"]
+        self.swap = snapshot["swap"]
+        self.inflight = snapshot["inflight"]
+        self.context.restore(snapshot["context"])
+        self._blacklist = set(snapshot["blacklist"])
+
+    def reset(self) -> None:
+        self.btb = ProbBTB(self.config.num_branches)
+        self.swap = SwapTable(self.config.swap_entries)
+        self.inflight = ProbInFlightTable(self.config.inflight_depth)
+        self.context.reset()
+        self.stats = PBSStats()
+        self._blacklist = set()

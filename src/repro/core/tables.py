@@ -1,0 +1,190 @@
+"""PBS hardware tables: Prob-BTB, SwapTable and Prob-in-Flight (§V-C).
+
+The functional model keeps probabilistic *values* directly in the table
+entries where the hardware would keep physical-register pointers; the
+capacity and indexing behaviour (what the evaluation depends on) is
+modelled exactly, and the bit-level cost lives in :mod:`repro.core.cost`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: A branch identity: (PROB_JMP pc, loop slot, function call PC).
+BranchKey = Tuple[int, int, int]
+
+
+class InFlightRecord:
+    """One executed-but-not-yet-replayed instance of a probabilistic
+    branch: its outcome and the probabilistic values that produced it."""
+
+    __slots__ = ("taken", "values")
+
+    def __init__(self, taken: bool, values: List[float]):
+        self.taken = taken
+        self.values = values
+
+
+class ProbBTBEntry:
+    """One Prob-BTB entry (plus its SwapTable slots, held by reference).
+
+    ``record`` is the instance currently steering fetch (the paper's
+    T/NT + Pr-Phy + SwapTable pointers); ``const_val`` is the comparison
+    constant registered at allocation for the safety check.
+    """
+
+    __slots__ = (
+        "key", "target", "const_val", "record", "num_values", "loop_slot",
+        "last_use",
+    )
+
+    def __init__(self, key: BranchKey, target: int, const_val, num_values: int):
+        self.key = key
+        self.target = target
+        self.const_val = const_val
+        self.record: Optional[InFlightRecord] = None
+        self.num_values = num_values
+        self.loop_slot = key[1]
+        self.last_use = 0
+
+    @property
+    def valid(self) -> bool:
+        """A record has been pulled in: fetch can be steered."""
+        return self.record is not None
+
+
+class SwapTable:
+    """Capacity accounting for probabilistic values beyond the first.
+
+    The Prob-BTB entry itself holds one value slot (Pr-Phy); each extra
+    value of a branch occupies one SwapTable entry.  Entries are allocated
+    per branch at Prob-BTB allocation time and freed with the entry.
+    """
+
+    def __init__(self, entries: int):
+        self.capacity = entries
+        self._used: Dict[BranchKey, int] = {}
+
+    @property
+    def used(self) -> int:
+        return sum(self._used.values())
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def allocate(self, key: BranchKey, count: int) -> bool:
+        if count == 0:
+            return True
+        if count > self.free:
+            return False
+        self._used[key] = count
+        return True
+
+    def release(self, key: BranchKey) -> None:
+        self._used.pop(key, None)
+
+
+class ProbInFlightTable:
+    """FIFO of executed instances awaiting their pull into the Prob-BTB.
+
+    One queue per tracked branch; the queue depth equals the configured
+    number of outstanding in-flight instances, which is also the replay
+    lag: instance *i* replays the record of instance *i - depth*.
+    """
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self._queues: Dict[BranchKey, Deque[InFlightRecord]] = {}
+
+    def push(self, key: BranchKey, record: InFlightRecord) -> None:
+        self._queues.setdefault(key, deque()).append(record)
+
+    def pull_if_ready(self, key: BranchKey) -> Optional[InFlightRecord]:
+        """Pop the oldest record once ``depth`` instances are outstanding."""
+        queue = self._queues.get(key)
+        if queue is not None and len(queue) >= self.depth:
+            return queue.popleft()
+        return None
+
+    def occupancy(self, key: BranchKey) -> int:
+        queue = self._queues.get(key)
+        return len(queue) if queue is not None else 0
+
+    def release(self, key: BranchKey) -> None:
+        self._queues.pop(key, None)
+
+
+class ProbBTB:
+    """The Prob-BTB: a small fully-associative table of probabilistic
+    branches, indexed by (branch PC, context)."""
+
+    def __init__(self, entries: int):
+        self.capacity = entries
+        self._entries: Dict[BranchKey, ProbBTBEntry] = {}
+        self._use_clock = 0
+
+    def lookup(self, key: BranchKey) -> Optional[ProbBTBEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._use_clock += 1
+            entry.last_use = self._use_clock
+        return entry
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(
+        self, key: BranchKey, target: int, const_val, num_values: int
+    ) -> Optional[ProbBTBEntry]:
+        if self.full:
+            return None
+        entry = ProbBTBEntry(key, target, const_val, num_values)
+        self._use_clock += 1
+        entry.last_use = self._use_clock
+        self._entries[key] = entry
+        return entry
+
+    def evict_candidate(self, active_slot: int) -> Optional[BranchKey]:
+        """Pick a victim when the table is full: the least recently used
+        entry *outside* the active loop context.
+
+        This is the paper's scalability heuristic (§V-C2): "it may clear
+        branches from outer loop levels first".  Entries in the active
+        loop are never evicted; if every entry is active-context the
+        allocation is rejected instead.
+        """
+        candidates = [
+            entry
+            for entry in self._entries.values()
+            if entry.loop_slot != active_slot
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda entry: entry.last_use).key
+
+    def invalidate(self, key: BranchKey) -> None:
+        self._entries.pop(key, None)
+
+    def flush_loop_slot(self, slot: int) -> List[BranchKey]:
+        """Clear every entry associated with a context-table slot.
+
+        Mirrors the paper: "The clearing process searches all the entries
+        in the table for a matching context number ... and negates their
+        valid bit", reclaiming the value storage.
+        """
+        victims = [
+            key for key, entry in self._entries.items() if entry.loop_slot == slot
+        ]
+        for key in victims:
+            del self._entries[key]
+        return victims
+
+    def keys(self):
+        return list(self._entries.keys())

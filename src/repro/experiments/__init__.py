@@ -1,0 +1,37 @@
+"""The paper's evaluation: one module per table/figure plus ablations."""
+
+from . import (
+    ablations,
+    accuracy,
+    charts,
+    figure1,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+    table2,
+    table3,
+)
+from .charts import bar_chart, chart_for
+from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult, geometric_mean
+
+__all__ = [
+    "ablations",
+    "accuracy",
+    "charts",
+    "bar_chart",
+    "chart_for",
+    "figure1",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "table1",
+    "table2",
+    "table3",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "ExperimentResult",
+    "geometric_mean",
+]

@@ -1,0 +1,78 @@
+"""ASCII bar charts for the figure experiments.
+
+The paper's figures are bar charts; `pbs-experiments <figure> --chart`
+renders the measured series the same way, one bar group per benchmark,
+directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .common import ExperimentResult
+
+DEFAULT_WIDTH = 46
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, List[float]],
+    width: int = DEFAULT_WIDTH,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render grouped horizontal bars.
+
+    ``labels`` are the group names (benchmarks); ``series`` maps a series
+    name to one value per group.
+    """
+    values = [v for vs in series.values() for v in vs if v is not None]
+    if not values:
+        return title
+    peak = max(abs(v) for v in values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    series_width = max(len(name) for name in series)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, label in enumerate(labels):
+        for series_index, (name, data) in enumerate(series.items()):
+            value = data[index]
+            if value is None:
+                continue
+            bar_len = int(round(abs(value) / peak * width))
+            bar = ("#" if series_index % 2 == 0 else "=") * bar_len
+            group = str(label) if series_index == 0 else ""
+            sign = "-" if value < 0 else ""
+            lines.append(
+                f"{group:>{label_width}} | {name:<{series_width}} "
+                f"{sign}{bar} {value:.2f}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def chart_for(result: ExperimentResult, columns: Sequence[str],
+              label_column: str = "benchmark", unit: str = "") -> str:
+    """Chart selected numeric columns of an experiment result."""
+    rows = [
+        row for row in result.rows
+        if all(isinstance(row.get(col), (int, float)) for col in columns)
+    ]
+    labels = [row[label_column] for row in rows]
+    series = {col: [row[col] for row in rows] for col in columns}
+    return bar_chart(labels, series, unit=unit, title=result.title)
+
+
+#: Which columns to chart per experiment key (used by the CLI runner).
+FIGURE_COLUMNS = {
+    "figure1": ["prob_branch_share_%", "tournament_miss_share_%",
+                "tagescl_miss_share_%"],
+    "figure6": ["tournament_reduction_%", "tagescl_reduction_%"],
+    "figure7": ["ipc_tournament", "ipc_tage-sc-l", "ipc_tournament+pbs",
+                "ipc_tage-sc-l+pbs"],
+    "figure8": ["ipc_tournament", "ipc_tage-sc-l", "ipc_tournament+pbs",
+                "ipc_tage-sc-l+pbs"],
+    "figure9": ["tournament_increase_%", "tagescl_increase_%"],
+}

@@ -1,0 +1,178 @@
+"""Shared infrastructure for the paper's experiments.
+
+Every experiment module exposes ``run(scale=..., ...) -> ExperimentResult``
+returning a renderable table, plus module-level constants naming the paper
+artefact it reproduces.  The helpers here fan one functional execution out
+to several trace consumers (MPKI harnesses, timing cores) so each
+benchmark is interpreted once per PBS mode rather than once per
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..branch import PredictorHarness, TageSCL, Tournament
+from ..core import PBSConfig, PBSEngine
+from ..pipeline import CoreConfig, OoOCore
+from ..workloads import get_workload
+
+#: Default evaluation scale: large enough for stable branch-predictor
+#: steady state, small enough for pure-Python simulation.
+DEFAULT_SCALE = 0.5
+DEFAULT_SEED = 1
+
+
+def predictor_factories() -> Dict[str, Callable[[], object]]:
+    """The paper's two baseline predictors (Section VI-B)."""
+    return {"tournament": Tournament, "tage-sc-l": TageSCL}
+
+
+class MultiSink:
+    """Fans one trace event stream out to several consumers."""
+
+    def __init__(self, sinks: Sequence[Callable]):
+        self.sinks = list(sinks)
+
+    def __call__(self, event) -> None:
+        for sink in self.sinks:
+            sink(event)
+
+
+def run_workload(
+    name: str,
+    scale: float,
+    seed: int,
+    consumers: Sequence[Callable],
+    pbs: Optional[PBSEngine] = None,
+    record_consumed: bool = False,
+):
+    """Execute benchmark ``name`` once, feeding all ``consumers``."""
+    workload = get_workload(name)
+    sink = None
+    if consumers:
+        sink = consumers[0] if len(consumers) == 1 else MultiSink(consumers)
+    return workload.run(
+        scale=scale,
+        seed=seed,
+        pbs=pbs,
+        sink=sink,
+        record_consumed=record_consumed,
+    )
+
+
+def mpki_pair(
+    name: str,
+    scale: float,
+    seed: int,
+    pbs_config: Optional[PBSConfig] = None,
+) -> Dict[str, Dict[str, PredictorHarness]]:
+    """Baseline and PBS MPKI for both predictors, two interpreter passes."""
+    results: Dict[str, Dict[str, PredictorHarness]] = {}
+    for mode in ("base", "pbs"):
+        harnesses = {
+            pname: PredictorHarness(factory())
+            for pname, factory in predictor_factories().items()
+        }
+        engine = None
+        if mode == "pbs":
+            engine = PBSEngine(pbs_config if pbs_config else PBSConfig())
+        run_workload(name, scale, seed, list(harnesses.values()), pbs=engine)
+        results[mode] = harnesses
+    return results
+
+
+def timed_matrix(
+    name: str,
+    scale: float,
+    seed: int,
+    core_config_factory: Callable[[], CoreConfig],
+    pbs_config: Optional[PBSConfig] = None,
+) -> Dict[str, OoOCore]:
+    """IPC for the paper's four configurations on one core design.
+
+    Returns cores keyed ``tournament``, ``tage-sc-l``, ``tournament+pbs``,
+    ``tage-sc-l+pbs`` — the exact bar groups of Figures 7 and 8.
+    """
+    cores: Dict[str, OoOCore] = {}
+    for mode in ("base", "pbs"):
+        mode_cores = {
+            pname: OoOCore(core_config_factory(), factory())
+            for pname, factory in predictor_factories().items()
+        }
+        engine = None
+        if mode == "pbs":
+            engine = PBSEngine(pbs_config if pbs_config else PBSConfig())
+        run_workload(
+            name, scale, seed, [c.feed for c in mode_cores.values()], pbs=engine
+        )
+        for pname, core in mode_cores.items():
+            core.finalize()
+            key = pname if mode == "base" else f"{pname}+pbs"
+            cores[key] = core
+    return cores
+
+
+# ----------------------------------------------------------------------
+# Result tables.
+# ----------------------------------------------------------------------
+class ExperimentResult:
+    """A titled table of rows plus free-form notes."""
+
+    def __init__(self, title: str, columns: Sequence[str], paper_claim: str = ""):
+        self.title = title
+        self.columns = list(columns)
+        self.paper_claim = paper_claim
+        self.rows: List[Dict[str, object]] = []
+        self.notes: List[str] = []
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List:
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        widths = {
+            col: max(
+                len(col), *(len(fmt(row.get(col, ""))) for row in self.rows)
+            ) if self.rows else len(col)
+            for col in self.columns
+        }
+        lines = [self.title]
+        if self.paper_claim:
+            lines.append(f"paper: {self.paper_claim}")
+        header = "  ".join(col.ljust(widths[col]) for col in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    fmt(row.get(col, "")).ljust(widths[col])
+                    for col in self.columns
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

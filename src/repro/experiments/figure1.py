@@ -1,0 +1,71 @@
+"""Figure 1: probabilistic vs regular branches — frequency and misses.
+
+The paper's motivating figure: probabilistic branches are a small share of
+the dynamically executed branches, yet account for a disproportionately
+large share of the mispredictions, and the imbalance grows with the better
+TAGE-SC-L predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..branch import PredictorHarness, TageSCL, Tournament
+from ..workloads import workload_names
+from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult, run_workload
+
+TITLE = "Figure 1: probabilistic vs regular branch breakdown"
+PAPER_CLAIM = (
+    "probabilistic branches are a minority of dynamic branches but a "
+    "disproportionate share of mispredictions; the share grows from the "
+    "tournament to the TAGE-SC-L predictor (e.g. DOP: ~2% of branches, "
+    "19%/23% of misses)"
+)
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    names: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        TITLE,
+        columns=[
+            "benchmark",
+            "prob_branch_share_%",
+            "tournament_miss_share_%",
+            "tagescl_miss_share_%",
+        ],
+        paper_claim=PAPER_CLAIM,
+    )
+    for name in names or workload_names():
+        tournament = PredictorHarness(Tournament())
+        tagescl = PredictorHarness(TageSCL())
+        run_workload(name, scale, seed, [tournament, tagescl])
+
+        stats = tournament.stats
+        total_branches = stats.regular_branches + stats.prob_branches
+        branch_share = 100.0 * stats.prob_branches / total_branches
+
+        def miss_share(harness) -> float:
+            misses = harness.stats.mispredicts
+            if misses == 0:
+                return 0.0
+            return 100.0 * harness.stats.prob_mispredicts / misses
+
+        result.add_row(
+            benchmark=name,
+            **{
+                "prob_branch_share_%": branch_share,
+                "tournament_miss_share_%": miss_share(tournament),
+                "tagescl_miss_share_%": miss_share(tagescl),
+            },
+        )
+    result.add_note(
+        "shares are computed over conditional branches on the committed path"
+    )
+    return result
+
+
+def main(scale: float = DEFAULT_SCALE) -> None:
+    print(run(scale=scale).render())

@@ -1,0 +1,86 @@
+"""Figure 9: negative interference of probabilistic branches.
+
+Probabilistic branches pollute predictor state that regular branches
+share.  The paper measures the MPKI increase on regular branches when
+probabilistic branches are allowed to access/update the 1 KB tournament
+predictor, versus filtering them out; the maximum across 7 seeds reaches
+5.8% with a couple of percent on average, and is negligible for the
+larger TAGE-SC-L.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..branch import PredictorHarness, TageSCL, Tournament
+from ..workloads import workload_names
+from .common import DEFAULT_SCALE, ExperimentResult, run_workload
+
+TITLE = "Figure 9: regular-branch MPKI increase from prob-branch interference"
+PAPER_CLAIM = (
+    "probabilistic branches inflate regular-branch misses in the 1 KB "
+    "tournament predictor by up to 5.8% (max over 7 seeds); negligible "
+    "for TAGE-SC-L"
+)
+
+DEFAULT_SEEDS = tuple(range(7))
+
+#: Below this many regular-branch mispredictions in the filtered run the
+#: relative increase is numerically meaningless (the Monte Carlo kernels
+#: have a single well-predicted loop branch, so one extra miss would read
+#: as "+100%"); such rows report 0.
+MIN_BASE_MISSES = 25
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    names: Optional[Sequence[str]] = None,
+    include_tagescl: bool = True,
+) -> ExperimentResult:
+    columns = ["benchmark", "tournament_increase_%"]
+    if include_tagescl:
+        columns.append("tagescl_increase_%")
+    result = ExperimentResult(TITLE, columns=columns, paper_claim=PAPER_CLAIM)
+
+    factories = {"tournament": Tournament}
+    if include_tagescl:
+        factories["tagescl"] = TageSCL
+
+    for name in names or workload_names():
+        increases = {pname: [] for pname in factories}
+        for seed in seeds:
+            harnesses = []
+            for pname, factory in factories.items():
+                shared = PredictorHarness(factory())
+                filtered = PredictorHarness(factory(), filter_probabilistic=True)
+                harnesses.append((pname, shared, filtered))
+            run_workload(
+                name,
+                scale,
+                seed,
+                [h for _, shared, filtered in harnesses for h in (shared, filtered)],
+            )
+            for pname, shared, filtered in harnesses:
+                base = filtered.stats.regular_mpki
+                polluted = shared.stats.regular_mpki
+                if filtered.stats.regular_mispredicts >= MIN_BASE_MISSES:
+                    increases[pname].append(100.0 * (polluted - base) / base)
+                else:
+                    increases[pname].append(0.0)
+        row = {"benchmark": name}
+        row["tournament_increase_%"] = max(increases["tournament"])
+        if include_tagescl:
+            row["tagescl_increase_%"] = max(increases["tagescl"])
+        result.add_row(**row)
+
+    result.add_note(
+        "maximum increase across seeds, as in the paper; negative values "
+        "mean the probabilistic branches happened to help (constructive "
+        "aliasing)"
+    )
+    return result
+
+
+def main(scale: float = DEFAULT_SCALE) -> None:
+    print(run(scale=scale).render())

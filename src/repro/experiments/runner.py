@@ -1,0 +1,111 @@
+"""Command-line entry point: regenerate any of the paper's artefacts.
+
+Usage::
+
+    pbs-experiments all            # every table and figure
+    pbs-experiments figure6        # one artefact
+    pbs-experiments figure7 --scale 0.25 --names pi,dop
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablations,
+    accuracy,
+    charts,
+    figure1,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+    table2,
+    table3,
+)
+from .common import DEFAULT_SCALE
+
+EXPERIMENTS = {
+    "figure1": figure1,
+    "table1": table1,
+    "table2": table2,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "table3": table3,
+    "accuracy": accuracy,
+    "ablations": ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pbs-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Architectural Support "
+            "for Probabilistic Branches' (MICRO 2018)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help="workload scale factor (1.0 = full default iterations)",
+    )
+    parser.add_argument(
+        "--names",
+        type=str,
+        default=None,
+        help="comma-separated benchmark subset (where supported)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render figure experiments as ASCII bar charts too",
+    )
+    return parser
+
+
+def _invoke(module, key: str, scale: float, names, chart: bool = False):
+    kwargs = {}
+    run = getattr(module, "run")
+    code = run.__code__
+    if "scale" in code.co_varnames[: code.co_argcount]:
+        kwargs["scale"] = scale
+    if names and "names" in code.co_varnames[: code.co_argcount]:
+        kwargs["names"] = names
+    outcome = run(**kwargs)
+    results = outcome if isinstance(outcome, list) else [outcome]
+    for result in results:
+        print(result.render())
+        print()
+        if chart and key in charts.FIGURE_COLUMNS:
+            print(charts.chart_for(result, charts.FIGURE_COLUMNS[key]))
+            print()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    names = args.names.split(",") if args.names else None
+    selected = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for key in selected:
+        started = time.time()
+        _invoke(EXPERIMENTS[key], key, args.scale, names, chart=args.chart)
+        elapsed = time.time() - started
+        print(f"[{key} done in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Table II: benchmark characteristics.
+
+Static probabilistic/total branch counts and dynamic instruction counts
+of *our* implementations, side by side with the paper's numbers (whose
+binaries, built from full C/C++ applications with libc, are necessarily
+larger — the probabilistic branch counts are the part that must match).
+"""
+
+from __future__ import annotations
+
+from ..workloads import all_workloads
+from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult
+
+TITLE = "Table II: benchmarks and their characteristics"
+PAPER_CLAIM = (
+    "8 benchmarks, 1-3 probabilistic branches each, categories 1 and 2, "
+    "1.3-17 billion simulated instructions"
+)
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    result = ExperimentResult(
+        TITLE,
+        columns=[
+            "benchmark",
+            "prob/total (ours)",
+            "prob/total (paper)",
+            "category",
+            "instructions (ours)",
+            "instructions (paper)",
+        ],
+        paper_claim=PAPER_CLAIM,
+    )
+    for workload in all_workloads():
+        summary = workload.static_summary()
+        run_result = workload.run(scale=scale, seed=seed)
+        result.add_row(
+            **{
+                "benchmark": workload.name,
+                "prob/total (ours)": (
+                    f"{summary['probabilistic_branches']}/"
+                    f"{summary['total_branches']}"
+                ),
+                "prob/total (paper)": (
+                    f"{workload.paper.prob_branches}/"
+                    f"{workload.paper.total_branches}"
+                ),
+                "category": workload.paper.category,
+                "instructions (ours)": run_result.instructions,
+                "instructions (paper)": workload.paper.simulated_instructions,
+            }
+        )
+    result.add_note(
+        f"dynamic counts measured at scale={scale}; the paper simulated "
+        "full application binaries"
+    )
+    return result
+
+
+def main(scale: float = DEFAULT_SCALE) -> None:
+    print(run(scale=scale).render())

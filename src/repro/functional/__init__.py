@@ -1,0 +1,26 @@
+"""Functional (committed-path) simulation of the repro ISA."""
+
+from .executor import (
+    ExecutionError,
+    ExecutionLimitExceeded,
+    Executor,
+    ProbDecision,
+    ProbGroup,
+)
+from .rng import Drand48, RecordingRng
+from .state import MachineState, MemoryFault
+from .trace import ProbMode, TraceEvent
+
+__all__ = [
+    "ExecutionError",
+    "ExecutionLimitExceeded",
+    "Executor",
+    "ProbDecision",
+    "ProbGroup",
+    "Drand48",
+    "RecordingRng",
+    "MachineState",
+    "MemoryFault",
+    "ProbMode",
+    "TraceEvent",
+]

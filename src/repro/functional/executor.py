@@ -1,0 +1,420 @@
+"""The functional simulator: executes programs on the committed path.
+
+The executor interprets a :class:`~repro.isa.program.Program`, optionally
+driving a PBS engine for ``PROB_CMP``/``PROB_JMP`` groups, and feeds one
+:class:`~repro.functional.trace.TraceEvent` per retired instruction to a
+``sink`` callable.  Timing models and MPKI counters are such sinks; when no
+sink is given, events are not materialised (fast path for accuracy and
+randomness experiments).
+
+PBS functional semantics (paper Section III-B): when a probabilistic branch
+group executes and the PBS engine reports a *hit*, the direction recorded at
+a previous execution is followed and the probabilistic register values are
+replaced with the recorded old ones, while the newly generated values are
+handed to the engine for a future instance.  During bootstrap or fallback,
+the branch behaves exactly like a regular branch.
+"""
+
+from __future__ import annotations
+
+from math import cos as _cos, exp as _exp, log as _log, sin as _sin
+from typing import Callable, List, Optional
+
+from ..isa.opcodes import OP_CLASS, Op, evaluate_cmp
+from ..isa.program import Program
+from ..isa.registers import COND_REG_NUM, Reg
+from .rng import Drand48
+from .state import MachineState
+from .trace import ProbMode, TraceEvent
+
+Sink = Callable[[TraceEvent], None]
+
+
+class ExecutionLimitExceeded(Exception):
+    """The instruction budget ran out (probably an infinite loop)."""
+
+
+class ExecutionError(Exception):
+    """A runtime fault (bad operand, division by zero, stack underflow)."""
+
+
+class ProbGroup:
+    """A decoded PROB_CMP + PROB_JMP... group, handed to the PBS engine.
+
+    Attributes:
+        jmp_pc: PC of the final (jumping) PROB_JMP — the Prob-BTB index.
+        cmp_op: comparison operator string.
+        cond: condition computed from the *new* probabilistic value.
+        const_value: the value the probabilistic value is compared against
+            (the paper's Const-Val safety field).
+        regs: register numbers holding probabilistic values, in order
+            [PROB_CMP reg, intermediate PROB_JMP regs..., final PROB_JMP reg].
+        values: the newly generated values currently in those registers.
+    """
+
+    __slots__ = ("jmp_pc", "cmp_op", "cond", "const_value", "regs", "values")
+
+    def __init__(self, jmp_pc, cmp_op, cond, const_value, regs, values):
+        self.jmp_pc = jmp_pc
+        self.cmp_op = cmp_op
+        self.cond = cond
+        self.const_value = const_value
+        self.regs = regs
+        self.values = values
+
+
+class ProbDecision:
+    """The PBS engine's verdict for one probabilistic branch instance.
+
+    ``mode`` is ``'hit'`` (replay recorded direction + swap values),
+    ``'boot'`` (bootstrap: regular behaviour while recording) or
+    ``'regular'`` (fallback: Const-Val mismatch, capacity, context rules).
+    """
+
+    __slots__ = ("mode", "taken", "swap_values")
+
+    def __init__(self, mode: str, taken: bool, swap_values=None):
+        self.mode = mode
+        self.taken = taken
+        self.swap_values = swap_values
+
+
+class Executor:
+    """Interprets a program, producing the committed-path trace."""
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int = 0,
+        rng=None,
+        pbs=None,
+        max_instructions: int = 50_000_000,
+        record_consumed: bool = False,
+    ):
+        self.program = program
+        self.rng = rng if rng is not None else Drand48(seed)
+        self.pbs = pbs
+        self.max_instructions = max_instructions
+        self.state = MachineState(data_size=program.data_size)
+        self.retired = 0
+        self.record_consumed = record_consumed
+        #: Probabilistic compare values in the order the program consumed
+        #: them (used by the Table III randomness experiment).
+        self.consumed_values: List[float] = []
+
+    # ------------------------------------------------------------------
+    def run(self, sink: Optional[Sink] = None) -> MachineState:
+        """Execute until HALT; feed events to ``sink`` if given."""
+        program = self.program
+        instructions = program.instructions
+        state = self.state
+        regs = state.regs
+        memory = state.memory
+        rng = self.rng
+        pbs = self.pbs
+        emit = sink is not None
+        limit = self.max_instructions
+        op_class = OP_CLASS
+
+        # Pending probabilistic group being assembled between PROB_CMP and
+        # the final PROB_JMP.
+        pending_cmp = None  # (cmp_op, cond, const_value, regs, values)
+
+        def val(operand):
+            return regs[operand.num] if operand.__class__ is Reg else operand
+
+        pc = 0
+        retired = 0
+        n_instructions = len(instructions)
+        try:
+            while True:
+                if retired >= limit:
+                    raise ExecutionLimitExceeded(
+                        f"{program.name}: exceeded {limit} instructions"
+                    )
+                inst = instructions[pc]
+                op = inst.op
+                next_pc = pc + 1
+                taken = False
+                target = None
+                is_branch = False
+                addr = None
+                is_store = False
+                prob_mode = ProbMode.NOT_PROB
+
+                if op is Op.ADD:
+                    regs[inst.dest.num] = val(inst.srcs[0]) + val(inst.srcs[1])
+                elif op is Op.FMUL:
+                    regs[inst.dest.num] = val(inst.srcs[0]) * val(inst.srcs[1])
+                elif op is Op.FADD:
+                    regs[inst.dest.num] = val(inst.srcs[0]) + val(inst.srcs[1])
+                elif op is Op.FSUB:
+                    regs[inst.dest.num] = val(inst.srcs[0]) - val(inst.srcs[1])
+                elif op is Op.SUB:
+                    regs[inst.dest.num] = val(inst.srcs[0]) - val(inst.srcs[1])
+                elif op is Op.MUL:
+                    regs[inst.dest.num] = val(inst.srcs[0]) * val(inst.srcs[1])
+                elif op is Op.MOV or op is Op.FMOV:
+                    regs[inst.dest.num] = val(inst.srcs[0])
+                elif op is Op.RAND:
+                    regs[inst.dest.num] = rng.uniform()
+                elif op is Op.RANDN:
+                    regs[inst.dest.num] = rng.normal()
+                elif op is Op.BLT:
+                    is_branch = True
+                    target = inst.target
+                    taken = val(inst.srcs[0]) < val(inst.srcs[1])
+                    if taken:
+                        next_pc = target
+                elif op is Op.BGE:
+                    is_branch = True
+                    target = inst.target
+                    taken = val(inst.srcs[0]) >= val(inst.srcs[1])
+                    if taken:
+                        next_pc = target
+                elif op is Op.BEQ:
+                    is_branch = True
+                    target = inst.target
+                    taken = val(inst.srcs[0]) == val(inst.srcs[1])
+                    if taken:
+                        next_pc = target
+                elif op is Op.BNE:
+                    is_branch = True
+                    target = inst.target
+                    taken = val(inst.srcs[0]) != val(inst.srcs[1])
+                    if taken:
+                        next_pc = target
+                elif op is Op.BLE:
+                    is_branch = True
+                    target = inst.target
+                    taken = val(inst.srcs[0]) <= val(inst.srcs[1])
+                    if taken:
+                        next_pc = target
+                elif op is Op.BGT:
+                    is_branch = True
+                    target = inst.target
+                    taken = val(inst.srcs[0]) > val(inst.srcs[1])
+                    if taken:
+                        next_pc = target
+                elif op is Op.CMP:
+                    regs[COND_REG_NUM] = (
+                        1 if evaluate_cmp(inst.cmp_op, val(inst.srcs[0]), val(inst.srcs[1])) else 0
+                    )
+                elif op is Op.JT:
+                    is_branch = True
+                    target = inst.target
+                    taken = bool(regs[COND_REG_NUM])
+                    if taken:
+                        next_pc = target
+                elif op is Op.JF:
+                    is_branch = True
+                    target = inst.target
+                    taken = not regs[COND_REG_NUM]
+                    if taken:
+                        next_pc = target
+                elif op is Op.PROB_CMP:
+                    new_value = regs[inst.srcs[0].num]
+                    const_value = val(inst.srcs[1])
+                    cond = evaluate_cmp(inst.cmp_op, new_value, const_value)
+                    regs[COND_REG_NUM] = 1 if cond else 0
+                    pending_cmp = (
+                        inst.cmp_op,
+                        cond,
+                        const_value,
+                        [inst.srcs[0].num],
+                        [new_value],
+                    )
+                elif op is Op.PROB_JMP:
+                    if pending_cmp is None:
+                        raise ExecutionError(
+                            f"{program.name}@{pc}: PROB_JMP without PROB_CMP"
+                        )
+                    cmp_op, cond, const_value, group_regs, group_values = pending_cmp
+                    if inst.dest is not None:
+                        group_regs.append(inst.dest.num)
+                        group_values.append(regs[inst.dest.num])
+                    if inst.target is None:
+                        # Intermediate PROB_JMP: registers an extra swap
+                        # value, does not jump (paper: Immediate = 0).
+                        pass
+                    else:
+                        is_branch = True
+                        target = inst.target
+                        group = ProbGroup(
+                            pc, cmp_op, cond, const_value, group_regs, group_values
+                        )
+                        if pbs is not None:
+                            decision = pbs.transact(group)
+                        else:
+                            decision = ProbDecision("regular", cond)
+                        taken = decision.taken
+                        if decision.mode == "hit":
+                            prob_mode = ProbMode.PBS_HIT
+                            for reg_num, old in zip(group_regs, decision.swap_values):
+                                regs[reg_num] = old
+                            regs[COND_REG_NUM] = 1 if taken else 0
+                            if self.record_consumed:
+                                self.consumed_values.append(decision.swap_values[0])
+                        else:
+                            prob_mode = ProbMode.PREDICTED
+                            if self.record_consumed:
+                                self.consumed_values.append(group_values[0])
+                        if taken:
+                            next_pc = target
+                        pending_cmp = None
+                elif op is Op.JMP:
+                    target = inst.target
+                    next_pc = target
+                    if pbs is not None:
+                        pbs.observe_branch(pc, True, target)
+                elif op is Op.CALL:
+                    target = inst.target
+                    state.call_stack.append(pc + 1)
+                    next_pc = target
+                    if pbs is not None:
+                        pbs.observe_call(pc)
+                elif op is Op.RET:
+                    if not state.call_stack:
+                        raise ExecutionError(f"{program.name}@{pc}: RET on empty stack")
+                    next_pc = state.call_stack.pop()
+                    target = next_pc
+                    if pbs is not None:
+                        pbs.observe_return(pc)
+                elif op is Op.LOAD or op is Op.FLOAD:
+                    addr = regs[inst.srcs[0].num] + inst.offset
+                    if not 0 <= addr < len(memory):
+                        raise ExecutionError(
+                            f"{program.name}@{pc}: load from {addr} out of range"
+                        )
+                    regs[inst.dest.num] = memory[addr]
+                elif op is Op.STORE or op is Op.FSTORE:
+                    addr = regs[inst.srcs[1].num] + inst.offset
+                    if not 0 <= addr < len(memory):
+                        raise ExecutionError(
+                            f"{program.name}@{pc}: store to {addr} out of range"
+                        )
+                    memory[addr] = val(inst.srcs[0])
+                    is_store = True
+                elif op is Op.DIV:
+                    a, b = val(inst.srcs[0]), val(inst.srcs[1])
+                    if b == 0:
+                        raise ExecutionError(f"{program.name}@{pc}: integer div by 0")
+                    q = abs(a) // abs(b)
+                    regs[inst.dest.num] = -q if (a < 0) != (b < 0) else q
+                elif op is Op.MOD:
+                    a, b = val(inst.srcs[0]), val(inst.srcs[1])
+                    if b == 0:
+                        raise ExecutionError(f"{program.name}@{pc}: integer mod by 0")
+                    q = abs(a) // abs(b)
+                    q = -q if (a < 0) != (b < 0) else q
+                    regs[inst.dest.num] = a - q * b
+                elif op is Op.AND:
+                    regs[inst.dest.num] = val(inst.srcs[0]) & val(inst.srcs[1])
+                elif op is Op.OR:
+                    regs[inst.dest.num] = val(inst.srcs[0]) | val(inst.srcs[1])
+                elif op is Op.XOR:
+                    regs[inst.dest.num] = val(inst.srcs[0]) ^ val(inst.srcs[1])
+                elif op is Op.SHL:
+                    regs[inst.dest.num] = val(inst.srcs[0]) << val(inst.srcs[1])
+                elif op is Op.SHR:
+                    regs[inst.dest.num] = val(inst.srcs[0]) >> val(inst.srcs[1])
+                elif op is Op.SLT:
+                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) < val(inst.srcs[1]) else 0
+                elif op is Op.SLE:
+                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) <= val(inst.srcs[1]) else 0
+                elif op is Op.SEQ:
+                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) == val(inst.srcs[1]) else 0
+                elif op is Op.SNE:
+                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) != val(inst.srcs[1]) else 0
+                elif op is Op.MIN:
+                    regs[inst.dest.num] = min(val(inst.srcs[0]), val(inst.srcs[1]))
+                elif op is Op.MAX:
+                    regs[inst.dest.num] = max(val(inst.srcs[0]), val(inst.srcs[1]))
+                elif op is Op.SELECT or op is Op.FSELECT:
+                    cond_value = val(inst.srcs[0])
+                    regs[inst.dest.num] = (
+                        val(inst.srcs[1]) if cond_value else val(inst.srcs[2])
+                    )
+                elif op is Op.FDIV:
+                    regs[inst.dest.num] = val(inst.srcs[0]) / val(inst.srcs[1])
+                elif op is Op.FSQRT:
+                    regs[inst.dest.num] = val(inst.srcs[0]) ** 0.5
+                elif op is Op.FEXP:
+                    regs[inst.dest.num] = _exp(val(inst.srcs[0]))
+                elif op is Op.FLOG:
+                    regs[inst.dest.num] = _log(val(inst.srcs[0]))
+                elif op is Op.FSIN:
+                    regs[inst.dest.num] = _sin(val(inst.srcs[0]))
+                elif op is Op.FCOS:
+                    regs[inst.dest.num] = _cos(val(inst.srcs[0]))
+                elif op is Op.FABS:
+                    regs[inst.dest.num] = abs(val(inst.srcs[0]))
+                elif op is Op.FNEG:
+                    regs[inst.dest.num] = -val(inst.srcs[0])
+                elif op is Op.FMIN:
+                    regs[inst.dest.num] = min(val(inst.srcs[0]), val(inst.srcs[1]))
+                elif op is Op.FMAX:
+                    regs[inst.dest.num] = max(val(inst.srcs[0]), val(inst.srcs[1]))
+                elif op is Op.FLT:
+                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) < val(inst.srcs[1]) else 0
+                elif op is Op.FLE:
+                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) <= val(inst.srcs[1]) else 0
+                elif op is Op.FEQ:
+                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) == val(inst.srcs[1]) else 0
+                elif op is Op.FNE:
+                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) != val(inst.srcs[1]) else 0
+                elif op is Op.ITOF:
+                    regs[inst.dest.num] = float(val(inst.srcs[0]))
+                elif op is Op.FTOI:
+                    regs[inst.dest.num] = int(val(inst.srcs[0]))
+                elif op is Op.FFLOOR:
+                    regs[inst.dest.num] = float(int(val(inst.srcs[0]) // 1))
+                elif op is Op.OUT:
+                    state.emit_output(inst.offset, val(inst.srcs[0]))
+                elif op is Op.NOP:
+                    pass
+                elif op is Op.HALT:
+                    retired += 1
+                    if emit:
+                        sink(
+                            TraceEvent(
+                                pc, op, op_class[op], -1, (), next_pc=pc + 1
+                            )
+                        )
+                    break
+                else:  # pragma: no cover - all opcodes handled above
+                    raise ExecutionError(f"{program.name}@{pc}: unhandled {op.name}")
+
+                if is_branch and pbs is not None and op is not Op.PROB_JMP:
+                    pbs.observe_branch(pc, taken, target)
+
+                if emit:
+                    dest_num = inst.dest.num if inst.dest is not None else -1
+                    srcs = tuple(
+                        s.num for s in inst.srcs if s.__class__ is Reg
+                    )
+                    sink(
+                        TraceEvent(
+                            pc,
+                            op,
+                            op_class[op],
+                            dest_num,
+                            srcs,
+                            is_cond_branch=is_branch,
+                            taken=taken,
+                            target=target,
+                            next_pc=next_pc,
+                            addr=addr,
+                            is_store=is_store,
+                            prob_mode=prob_mode,
+                        )
+                    )
+
+                retired += 1
+                pc = next_pc
+                if not 0 <= pc < n_instructions:
+                    raise ExecutionError(f"{program.name}: PC {pc} out of range")
+        finally:
+            self.retired = retired
+
+        return state

@@ -1,0 +1,84 @@
+"""Dynamic trace events emitted by the functional simulator.
+
+The functional simulator executes the committed path and emits one
+:class:`TraceEvent` per retired instruction.  Timing models, MPKI counters
+and other consumers observe this stream; they never re-execute semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class ProbMode:
+    """How a PROB_JMP instance was handled.
+
+    Attributes:
+        NOT_PROB: a regular (non-probabilistic) instruction.
+        PREDICTED: a probabilistic branch treated as a regular branch —
+            either PBS is disabled, the instance is in the bootstrap phase,
+            or PBS fell back (Const-Val mismatch, capacity, deep call).
+        PBS_HIT: direction supplied by the Prob-BTB at fetch; the branch
+            never consults the predictor and can never mispredict.
+    """
+
+    NOT_PROB = 0
+    PREDICTED = 1
+    PBS_HIT = 2
+
+
+class TraceEvent:
+    """One retired instruction on the committed path."""
+
+    __slots__ = (
+        "pc",
+        "op",
+        "op_class",
+        "dest",
+        "srcs",
+        "is_cond_branch",
+        "taken",
+        "target",
+        "next_pc",
+        "addr",
+        "is_store",
+        "prob_mode",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        op: int,
+        op_class: int,
+        dest: int,
+        srcs: Tuple[int, ...],
+        is_cond_branch: bool = False,
+        taken: bool = False,
+        target: Optional[int] = None,
+        next_pc: int = 0,
+        addr: Optional[int] = None,
+        is_store: bool = False,
+        prob_mode: int = ProbMode.NOT_PROB,
+    ):
+        self.pc = pc
+        self.op = op
+        self.op_class = op_class
+        self.dest = dest
+        self.srcs = srcs
+        self.is_cond_branch = is_cond_branch
+        self.taken = taken
+        self.target = target
+        self.next_pc = next_pc
+        self.addr = addr
+        self.is_store = is_store
+        self.prob_mode = prob_mode
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.is_cond_branch:
+            extra = f" {'T' if self.taken else 'NT'}->{self.target}"
+            if self.prob_mode == ProbMode.PREDICTED:
+                extra += " prob"
+            elif self.prob_mode == ProbMode.PBS_HIT:
+                extra += " pbs-hit"
+        return f"<ev pc={self.pc} op={self.op}{extra}>"

@@ -1,0 +1,48 @@
+"""The repro ISA: registers, opcodes, instructions, programs and assemblers.
+
+This is the instruction set the whole reproduction is built on — a small
+RISC-like machine extended with the paper's two probabilistic instructions,
+``PROB_CMP`` and ``PROB_JMP`` (Section V-A of the paper).
+"""
+
+from .assembler import AssemblerError, assemble
+from .builder import BuildError, ProgramBuilder
+from .disassembler import disassemble
+from .instructions import Instruction, Operand
+from .opcodes import (
+    CMP_OPERATORS,
+    CONDITIONAL_BRANCH_OPS,
+    CONTROL_OPS,
+    OP_CLASS,
+    Op,
+    OpClass,
+    evaluate_cmp,
+)
+from .program import Program
+from .registers import COND, F, R, Reg, parse_reg
+from .validation import ValidationError, validate_program
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "BuildError",
+    "ProgramBuilder",
+    "disassemble",
+    "Instruction",
+    "Operand",
+    "CMP_OPERATORS",
+    "CONDITIONAL_BRANCH_OPS",
+    "CONTROL_OPS",
+    "OP_CLASS",
+    "Op",
+    "OpClass",
+    "evaluate_cmp",
+    "Program",
+    "COND",
+    "F",
+    "R",
+    "Reg",
+    "parse_reg",
+    "ValidationError",
+    "validate_program",
+]

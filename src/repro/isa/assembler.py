@@ -1,0 +1,219 @@
+"""Text assembler for the repro ISA.
+
+The text format is one instruction per line, ``;``/``#`` comments, and
+``name:`` labels.  Operands are comma-separated: registers (``r3``,
+``f10``), integer or float immediates, comparison operators for the compare
+family, and label names for control flow.  A ``-`` stands for "no operand"
+(e.g. a Category-1 ``prob_jmp -, dest``).
+
+Example::
+
+    ; estimate pi
+        li   r1, 0          ; hits
+        li   r2, 10000      ; iterations
+        li   r3, 0          ; i
+    loop:
+        rand f1
+        rand f2
+        fmul f3, f1, f1
+        fmul f4, f2, f2
+        fadd f5, f3, f4
+        prob_cmp ge, f5, 1.0
+        prob_jmp -, miss
+        add  r1, r1, 1
+    miss:
+        add  r3, r3, 1
+        blt  r3, r2, loop
+        out  r1
+        halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .builder import BuildError, ProgramBuilder
+from .instructions import Operand
+from .opcodes import CMP_OPERATORS, Op
+from .program import Program
+from .registers import parse_reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.]*):$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+class AssemblerError(Exception):
+    """Raised on malformed assembly text."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _parse_operand(token: str) -> Operand:
+    token = token.strip()
+    if _INT_RE.match(token):
+        return int(token)
+    if _FLOAT_RE.match(token) and ("." in token or "e" in token.lower()):
+        return float(token)
+    return parse_reg(token)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+# Ops whose operands are plain (dest, src...) register/immediate lists,
+# keyed by mnemonic -> (Op, has_dest, num_srcs).
+_SIMPLE = {
+    "add": (Op.ADD, True, 2), "sub": (Op.SUB, True, 2),
+    "mul": (Op.MUL, True, 2), "div": (Op.DIV, True, 2),
+    "mod": (Op.MOD, True, 2), "and": (Op.AND, True, 2),
+    "or": (Op.OR, True, 2), "xor": (Op.XOR, True, 2),
+    "shl": (Op.SHL, True, 2), "shr": (Op.SHR, True, 2),
+    "slt": (Op.SLT, True, 2), "sle": (Op.SLE, True, 2),
+    "seq": (Op.SEQ, True, 2), "sne": (Op.SNE, True, 2),
+    "min": (Op.MIN, True, 2), "max": (Op.MAX, True, 2),
+    "mov": (Op.MOV, True, 1), "li": (Op.MOV, True, 1),
+    "select": (Op.SELECT, True, 3),
+    "fadd": (Op.FADD, True, 2), "fsub": (Op.FSUB, True, 2),
+    "fmul": (Op.FMUL, True, 2), "fdiv": (Op.FDIV, True, 2),
+    "fsqrt": (Op.FSQRT, True, 1), "fexp": (Op.FEXP, True, 1),
+    "flog": (Op.FLOG, True, 1), "fsin": (Op.FSIN, True, 1),
+    "fcos": (Op.FCOS, True, 1), "fabs": (Op.FABS, True, 1),
+    "fneg": (Op.FNEG, True, 1), "fmin": (Op.FMIN, True, 2),
+    "fmax": (Op.FMAX, True, 2), "fmov": (Op.FMOV, True, 1),
+    "fli": (Op.FMOV, True, 1), "fselect": (Op.FSELECT, True, 3),
+    "flt": (Op.FLT, True, 2), "fle": (Op.FLE, True, 2),
+    "feq": (Op.FEQ, True, 2), "fne": (Op.FNE, True, 2),
+    "itof": (Op.ITOF, True, 1), "ftoi": (Op.FTOI, True, 1),
+    "ffloor": (Op.FFLOOR, True, 1),
+    "rand": (Op.RAND, True, 0), "randn": (Op.RANDN, True, 0),
+    "nop": (Op.NOP, False, 0), "halt": (Op.HALT, False, 0),
+}
+
+_FUSED_BRANCHES = {
+    "beq": "beq", "bne": "bne", "blt": "blt",
+    "bge": "bge", "ble": "ble", "bgt": "bgt",
+}
+
+
+def assemble(text: str, name: str = "asm", data_size: int = 0) -> Program:
+    """Assemble ``text`` into a :class:`Program`."""
+    builder = ProgramBuilder(name, data_size=data_size)
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            try:
+                builder.label(label_match.group(1))
+            except BuildError as exc:
+                raise AssemblerError(line_number, str(exc)) from exc
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [t.strip() for t in operand_text.split(",")] if operand_text else []
+
+        try:
+            _assemble_one(builder, mnemonic, tokens)
+        except (ValueError, BuildError) as exc:
+            raise AssemblerError(line_number, str(exc)) from exc
+
+    try:
+        return builder.build()
+    except Exception as exc:
+        raise AssemblerError(0, f"build failed: {exc}") from exc
+
+
+def _assemble_one(builder: ProgramBuilder, mnemonic: str, tokens: List[str]) -> None:
+    if mnemonic in _SIMPLE:
+        op, has_dest, num_srcs = _SIMPLE[mnemonic]
+        expected = (1 if has_dest else 0) + num_srcs
+        if len(tokens) != expected:
+            raise ValueError(
+                f"{mnemonic} expects {expected} operands, got {len(tokens)}"
+            )
+        dest = _parse_operand(tokens[0]) if has_dest else None
+        if has_dest and not hasattr(dest, "num"):
+            raise ValueError(f"{mnemonic} destination must be a register")
+        srcs = tuple(_parse_operand(t) for t in tokens[1 if has_dest else 0:])
+        builder._op(op, dest, srcs)
+        return
+
+    if mnemonic in _FUSED_BRANCHES:
+        if len(tokens) != 3:
+            raise ValueError(f"{mnemonic} expects a, b, target")
+        a, b = _parse_operand(tokens[0]), _parse_operand(tokens[1])
+        getattr(builder, _FUSED_BRANCHES[mnemonic])(a, b, tokens[2])
+        return
+
+    if mnemonic == "cmp" or mnemonic == "prob_cmp":
+        if len(tokens) != 3 or tokens[0] not in CMP_OPERATORS:
+            raise ValueError(f"{mnemonic} expects op, a, b with op in {CMP_OPERATORS}")
+        a, b = _parse_operand(tokens[1]), _parse_operand(tokens[2])
+        if mnemonic == "cmp":
+            builder.cmp(tokens[0], a, b)
+        else:
+            if not hasattr(a, "num"):
+                raise ValueError("prob_cmp first operand must be a register")
+            builder.prob_cmp(tokens[0], a, b)
+        return
+
+    if mnemonic == "prob_jmp":
+        if len(tokens) != 2:
+            raise ValueError("prob_jmp expects reg-or-dash, target-or-dash")
+        prob_reg = None if tokens[0] == "-" else _parse_operand(tokens[0])
+        if prob_reg is not None and not hasattr(prob_reg, "num"):
+            raise ValueError("prob_jmp first operand must be a register or '-'")
+        target: Optional[str] = None if tokens[1] == "-" else tokens[1]
+        builder.prob_jmp(prob_reg, target)
+        return
+
+    if mnemonic in ("jt", "jf", "jmp", "call"):
+        if len(tokens) != 1:
+            raise ValueError(f"{mnemonic} expects one target label")
+        getattr(builder, mnemonic)(tokens[0])
+        return
+
+    if mnemonic == "ret":
+        builder.ret()
+        return
+
+    if mnemonic in ("load", "fload"):
+        if len(tokens) not in (2, 3):
+            raise ValueError(f"{mnemonic} expects rd, base[, offset]")
+        dest = _parse_operand(tokens[0])
+        base = _parse_operand(tokens[1])
+        offset = int(tokens[2]) if len(tokens) == 3 else 0
+        getattr(builder, mnemonic)(dest, base, offset)
+        return
+
+    if mnemonic in ("store", "fstore"):
+        if len(tokens) not in (2, 3):
+            raise ValueError(f"{mnemonic} expects value, base[, offset]")
+        value = _parse_operand(tokens[0])
+        base = _parse_operand(tokens[1])
+        offset = int(tokens[2]) if len(tokens) == 3 else 0
+        getattr(builder, mnemonic)(value, base, offset)
+        return
+
+    if mnemonic == "out":
+        if len(tokens) not in (1, 2):
+            raise ValueError("out expects value[, channel]")
+        value = _parse_operand(tokens[0])
+        channel = int(tokens[1]) if len(tokens) == 2 else 0
+        builder.out(value, channel)
+        return
+
+    raise ValueError(f"unknown mnemonic {mnemonic!r}")

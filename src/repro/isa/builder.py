@@ -1,0 +1,342 @@
+"""Programmatic assembler: the ``ProgramBuilder`` DSL.
+
+Workloads are written against this builder rather than as text assembly;
+it gives labels, forward references and a method per opcode::
+
+    b = ProgramBuilder("pi")
+    b.li(R(1), 0)                     # hits
+    b.li(R(2), 10_000)                # iterations
+    b.li(R(3), 0)                     # i
+    b.label("loop")
+    b.rand(F(1))
+    ...
+    b.blt(R(3), R(2), "loop")
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .instructions import Instruction, Operand
+from .opcodes import CMP_OPERATORS, Op
+from .program import Program
+from .registers import COND, Reg
+from .validation import validate_program
+
+LabelOrNone = Optional[str]
+
+
+class BuildError(Exception):
+    """Raised for malformed programs at build time."""
+
+
+class ProgramBuilder:
+    """Accumulates instructions and resolves labels into a Program."""
+
+    def __init__(self, name: str, data_size: int = 0):
+        self.name = name
+        self.data_size = data_size
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Infrastructure.
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Attach a label to the next emitted instruction."""
+        if name in self._labels:
+            raise BuildError(f"duplicate label {name!r} in {self.name}")
+        self._labels[name] = len(self._instructions)
+
+    def emit(self, instruction: Instruction) -> Instruction:
+        self._instructions.append(instruction)
+        return instruction
+
+    def _op(
+        self,
+        op: Op,
+        dest: Optional[Reg] = None,
+        srcs=(),
+        cmp_op: Optional[str] = None,
+        label: LabelOrNone = None,
+        offset: int = 0,
+    ) -> Instruction:
+        return self.emit(
+            Instruction(
+                op,
+                dest=dest,
+                srcs=tuple(srcs),
+                cmp_op=cmp_op,
+                label=label,
+                offset=offset,
+            )
+        )
+
+    def pc(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def build(self, validate: bool = True) -> Program:
+        """Resolve labels and return the finished Program."""
+        for inst in self._instructions:
+            if inst.label is not None:
+                if inst.label not in self._labels:
+                    raise BuildError(
+                        f"undefined label {inst.label!r} in {self.name}"
+                    )
+                inst.target = self._labels[inst.label]
+        program = Program(
+            self.name,
+            list(self._instructions),
+            labels=dict(self._labels),
+            data_size=self.data_size,
+        )
+        if validate:
+            validate_program(program)
+        return program
+
+    # ------------------------------------------------------------------
+    # Integer ALU.
+    # ------------------------------------------------------------------
+    def add(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.ADD, rd, (a, b))
+
+    def sub(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.SUB, rd, (a, b))
+
+    def mul(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.MUL, rd, (a, b))
+
+    def div(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.DIV, rd, (a, b))
+
+    def mod(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.MOD, rd, (a, b))
+
+    def and_(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.AND, rd, (a, b))
+
+    def or_(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.OR, rd, (a, b))
+
+    def xor(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.XOR, rd, (a, b))
+
+    def shl(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.SHL, rd, (a, b))
+
+    def shr(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.SHR, rd, (a, b))
+
+    def slt(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.SLT, rd, (a, b))
+
+    def sle(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.SLE, rd, (a, b))
+
+    def seq(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.SEQ, rd, (a, b))
+
+    def sne(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.SNE, rd, (a, b))
+
+    def imin(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.MIN, rd, (a, b))
+
+    def imax(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.MAX, rd, (a, b))
+
+    def mov(self, rd: Reg, a: Operand):
+        return self._op(Op.MOV, rd, (a,))
+
+    def li(self, rd: Reg, value: int):
+        """Load integer immediate."""
+        return self._op(Op.MOV, rd, (int(value),))
+
+    def select(self, rd: Reg, cond: Reg, if_true: Operand, if_false: Operand):
+        """rd = if_true if cond != 0 else if_false (predication support)."""
+        return self._op(Op.SELECT, rd, (cond, if_true, if_false))
+
+    # ------------------------------------------------------------------
+    # Floating point.
+    # ------------------------------------------------------------------
+    def fadd(self, fd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FADD, fd, (a, b))
+
+    def fsub(self, fd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FSUB, fd, (a, b))
+
+    def fmul(self, fd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FMUL, fd, (a, b))
+
+    def fdiv(self, fd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FDIV, fd, (a, b))
+
+    def fsqrt(self, fd: Reg, a: Operand):
+        return self._op(Op.FSQRT, fd, (a,))
+
+    def fexp(self, fd: Reg, a: Operand):
+        return self._op(Op.FEXP, fd, (a,))
+
+    def flog(self, fd: Reg, a: Operand):
+        return self._op(Op.FLOG, fd, (a,))
+
+    def fsin(self, fd: Reg, a: Operand):
+        return self._op(Op.FSIN, fd, (a,))
+
+    def fcos(self, fd: Reg, a: Operand):
+        return self._op(Op.FCOS, fd, (a,))
+
+    def fabs_(self, fd: Reg, a: Operand):
+        return self._op(Op.FABS, fd, (a,))
+
+    def fneg(self, fd: Reg, a: Operand):
+        return self._op(Op.FNEG, fd, (a,))
+
+    def fmin(self, fd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FMIN, fd, (a, b))
+
+    def fmax(self, fd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FMAX, fd, (a, b))
+
+    def fmov(self, fd: Reg, a: Operand):
+        return self._op(Op.FMOV, fd, (a,))
+
+    def fli(self, fd: Reg, value: float):
+        """Load float immediate."""
+        return self._op(Op.FMOV, fd, (float(value),))
+
+    def fselect(self, fd: Reg, cond: Reg, if_true: Operand, if_false: Operand):
+        return self._op(Op.FSELECT, fd, (cond, if_true, if_false))
+
+    def flt(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FLT, rd, (a, b))
+
+    def fle(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FLE, rd, (a, b))
+
+    def feq(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FEQ, rd, (a, b))
+
+    def fne(self, rd: Reg, a: Operand, b: Operand):
+        return self._op(Op.FNE, rd, (a, b))
+
+    def itof(self, fd: Reg, a: Operand):
+        return self._op(Op.ITOF, fd, (a,))
+
+    def ftoi(self, rd: Reg, a: Operand):
+        return self._op(Op.FTOI, rd, (a,))
+
+    def ffloor(self, fd: Reg, a: Operand):
+        return self._op(Op.FFLOOR, fd, (a,))
+
+    # ------------------------------------------------------------------
+    # Memory.
+    # ------------------------------------------------------------------
+    def load(self, rd: Reg, base: Reg, offset: int = 0):
+        return self._op(Op.LOAD, rd, (base,), offset=offset)
+
+    def store(self, value: Operand, base: Reg, offset: int = 0):
+        return self._op(Op.STORE, None, (value, base), offset=offset)
+
+    def fload(self, fd: Reg, base: Reg, offset: int = 0):
+        return self._op(Op.FLOAD, fd, (base,), offset=offset)
+
+    def fstore(self, value: Operand, base: Reg, offset: int = 0):
+        return self._op(Op.FSTORE, None, (value, base), offset=offset)
+
+    # ------------------------------------------------------------------
+    # Control flow.
+    # ------------------------------------------------------------------
+    def cmp(self, operator: str, a: Operand, b: Operand):
+        """cond = a <operator> b."""
+        if operator not in CMP_OPERATORS:
+            raise BuildError(f"unknown comparison operator {operator!r}")
+        return self._op(Op.CMP, COND, (a, b), cmp_op=operator)
+
+    def jt(self, target: str):
+        """Jump to ``target`` if cond is true."""
+        return self._op(Op.JT, None, (COND,), label=target)
+
+    def jf(self, target: str):
+        """Jump to ``target`` if cond is false."""
+        return self._op(Op.JF, None, (COND,), label=target)
+
+    def beq(self, a: Operand, b: Operand, target: str):
+        return self._op(Op.BEQ, None, (a, b), label=target)
+
+    def bne(self, a: Operand, b: Operand, target: str):
+        return self._op(Op.BNE, None, (a, b), label=target)
+
+    def blt(self, a: Operand, b: Operand, target: str):
+        return self._op(Op.BLT, None, (a, b), label=target)
+
+    def bge(self, a: Operand, b: Operand, target: str):
+        return self._op(Op.BGE, None, (a, b), label=target)
+
+    def ble(self, a: Operand, b: Operand, target: str):
+        return self._op(Op.BLE, None, (a, b), label=target)
+
+    def bgt(self, a: Operand, b: Operand, target: str):
+        return self._op(Op.BGT, None, (a, b), label=target)
+
+    def jmp(self, target: str):
+        return self._op(Op.JMP, None, (), label=target)
+
+    def call(self, target: str):
+        return self._op(Op.CALL, None, (), label=target)
+
+    def ret(self):
+        return self._op(Op.RET, None, ())
+
+    # ------------------------------------------------------------------
+    # Probabilistic branch support (the paper's ISA extension, §V-A1).
+    # ------------------------------------------------------------------
+    def prob_cmp(self, operator: str, prob_reg: Reg, other: Operand):
+        """``PROB_CMP optype, Prob_Reg1, Reg2``.
+
+        Computes ``cond = prob_reg <operator> other``; under PBS the value
+        in ``prob_reg`` is recorded and replaced by the one from the
+        previous execution.  ``prob_reg`` is therefore both a source and a
+        destination, preserving the read-after-write dependence the paper
+        relies on.
+        """
+        if operator not in CMP_OPERATORS:
+            raise BuildError(f"unknown comparison operator {operator!r}")
+        return self._op(Op.PROB_CMP, prob_reg, (prob_reg, other), cmp_op=operator)
+
+    def prob_jmp(self, prob_reg: Optional[Reg], target: Optional[str]):
+        """``PROB_JMP Prob_Reg2, Immediate``.
+
+        Jumps to ``target`` when the condition set by the preceding
+        PROB_CMP is true.  ``prob_reg`` optionally names a second
+        probabilistic value to record/replace (Category-2 codes); pass
+        ``None`` for Category-1 branches.  Pass ``target=None`` for the
+        paper's "Immediate set to zero" form: an intermediate PROB_JMP
+        that only registers an extra swap register and never jumps.
+        """
+        srcs = (COND,) if prob_reg is None else (COND, prob_reg)
+        return self._op(Op.PROB_JMP, prob_reg, srcs, label=target)
+
+    # ------------------------------------------------------------------
+    # Randomness, I/O, misc.
+    # ------------------------------------------------------------------
+    def rand(self, fd: Reg):
+        """fd = uniform random in [0, 1) from the machine RNG."""
+        return self._op(Op.RAND, fd, ())
+
+    def randn(self, fd: Reg):
+        """fd = standard normal random from the machine RNG."""
+        return self._op(Op.RANDN, fd, ())
+
+    def out(self, value: Operand, channel: int = 0):
+        """Emit a value to an output channel (collected by the simulator)."""
+        return self._op(Op.OUT, None, (value,), offset=channel)
+
+    def nop(self):
+        return self._op(Op.NOP, None, ())
+
+    def halt(self):
+        return self._op(Op.HALT, None, ())

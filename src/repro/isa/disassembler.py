@@ -1,0 +1,113 @@
+"""Disassembler: renders a Program back into assembler text.
+
+The output round-trips through :func:`repro.isa.assembler.assemble` (modulo
+label naming, which is regenerated as ``L<pc>`` for targets without an
+original label).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .instructions import Instruction
+from .opcodes import Op
+from .program import Program
+from .registers import Reg
+
+_MNEMONIC_OVERRIDES = {
+    Op.MOV: "mov",
+    Op.FMOV: "fmov",
+    Op.MIN: "min",
+    Op.MAX: "max",
+    Op.FABS: "fabs",
+}
+
+
+def _operand_text(operand) -> str:
+    if isinstance(operand, Reg):
+        return operand.name
+    if isinstance(operand, float):
+        text = repr(operand)
+        return text if ("." in text or "e" in text or "inf" in text) else text + ".0"
+    return str(operand)
+
+
+def _target_label(program: Program, pc: int, generated: Dict[int, str]) -> str:
+    existing = program.label_of(pc)
+    if existing:
+        return existing
+    return generated.setdefault(pc, f"L{pc}")
+
+
+def disassemble_instruction(
+    inst: Instruction, program: Program, generated: Dict[int, str]
+) -> str:
+    """One line of assembly text for ``inst`` (without label prefixes)."""
+    op = inst.op
+    mnemonic = _MNEMONIC_OVERRIDES.get(op, op.name.lower())
+
+    if op in (Op.CMP, Op.PROB_CMP):
+        a, b = inst.srcs[0], inst.srcs[1]
+        return f"{mnemonic} {inst.cmp_op}, {_operand_text(a)}, {_operand_text(b)}"
+
+    if op is Op.PROB_JMP:
+        reg_text = inst.dest.name if inst.dest is not None else "-"
+        target_text = (
+            _target_label(program, inst.target, generated)
+            if inst.target is not None
+            else "-"
+        )
+        return f"prob_jmp {reg_text}, {target_text}"
+
+    if op in (Op.JT, Op.JF, Op.JMP, Op.CALL):
+        return f"{mnemonic} {_target_label(program, inst.target, generated)}"
+
+    if op is Op.RET:
+        return "ret"
+
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLE, Op.BGT):
+        a, b = inst.srcs
+        label = _target_label(program, inst.target, generated)
+        return f"{mnemonic} {_operand_text(a)}, {_operand_text(b)}, {label}"
+
+    if op in (Op.LOAD, Op.FLOAD):
+        base = inst.srcs[0]
+        return f"{mnemonic} {inst.dest.name}, {_operand_text(base)}, {inst.offset}"
+
+    if op in (Op.STORE, Op.FSTORE):
+        value, base = inst.srcs
+        return (
+            f"{mnemonic} {_operand_text(value)}, {_operand_text(base)}, {inst.offset}"
+        )
+
+    if op is Op.OUT:
+        return f"out {_operand_text(inst.srcs[0])}, {inst.offset}"
+
+    parts: List[str] = []
+    if inst.dest is not None:
+        parts.append(inst.dest.name)
+    parts.extend(_operand_text(s) for s in inst.srcs)
+    return f"{mnemonic} {', '.join(parts)}" if parts else mnemonic
+
+
+def disassemble(program: Program) -> str:
+    """Render the whole program as assembler text."""
+    generated: Dict[int, str] = {}
+    # First pass so forward label references get generated names.
+    body = [
+        disassemble_instruction(inst, program, generated)
+        for inst in program.instructions
+    ]
+    label_at: Dict[int, List[str]] = {}
+    for name, pc in program.labels.items():
+        label_at.setdefault(pc, []).append(name)
+    for pc, name in generated.items():
+        if not program.label_of(pc):
+            label_at.setdefault(pc, []).append(name)
+
+    lines: List[str] = [f"; program: {program.name}"]
+    for pc, text in enumerate(body):
+        for name in sorted(label_at.get(pc, [])):
+            lines.append(f"{name}:")
+        lines.append(f"    {text}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,244 @@
+"""Binary instruction encoding with the paper's probabilistic-bit trick.
+
+Section V-A2 of the paper proposes marking probabilistic instructions by
+"leveraging unused bits in the ISA ... without losing backward
+compatibility": a probabilistic compare is an ordinary compare with an
+otherwise-unused bit set, so legacy machines execute the code as normal
+branches while PBS hardware recognises the marker.
+
+This module makes that concrete with a fixed 64-bit word:
+
+====== ======= =====================================================
+bits   field   meaning
+====== ======= =====================================================
+0-6    opcode  base opcode (PROB_CMP encodes as CMP, PROB_JMP as JT)
+7      prob    the probabilistic marker bit
+8-10   cmp     comparison operator for the compare family
+11-17  dest    destination register (0x7F = none)
+18-24  src1    first source register / immediate order index
+25-31  src2    second source
+32-38  src3    third source (SELECT) — reused as pool-base high bits
+               by control-flow instructions, which have no third source
+39-41  flags   per-source "operand is a literal-pool reference" bits
+42-63  aux     branch target / memory offset / literal-pool base
+====== ======= =====================================================
+
+Immediates live in a per-program literal pool (the standard constant-pool
+compilation strategy for wide constants); control-flow instructions reuse
+their dead dest+src3 fields for the pool base — exactly the field-reuse
+argument the paper makes about the MIPS I-class encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .instructions import Instruction
+from .opcodes import CMP_OPERATORS, CONTROL_OPS, Op
+from .program import Program
+from .registers import Reg
+
+WORD_BITS = 64
+_NO_REG = 0x7F
+_NO_AUX = (1 << 22) - 1
+_AUX_MASK = (1 << 22) - 1
+
+#: Probabilistic instructions piggyback on their regular counterparts.
+_PROB_BASE = {Op.PROB_CMP: Op.CMP, Op.PROB_JMP: Op.JT}
+_PROB_FROM_BASE = {Op.CMP: Op.PROB_CMP, Op.JT: Op.PROB_JMP}
+
+_CMP_INDEX = {name: index for index, name in enumerate(CMP_OPERATORS)}
+_CMP_NAME = {index: name for name, index in _CMP_INDEX.items()}
+
+
+class EncodingError(Exception):
+    """Raised when an instruction does not fit the binary format."""
+
+
+@dataclass
+class EncodedProgram:
+    """A program as binary words plus its literal pool."""
+
+    name: str
+    words: List[int] = field(default_factory=list)
+    pool: List[float] = field(default_factory=list)
+    data_size: int = 0
+
+    @property
+    def code_bytes(self) -> int:
+        return len(self.words) * WORD_BITS // 8
+
+
+def _reg_field(operand) -> int:
+    return operand.num if isinstance(operand, Reg) else _NO_REG
+
+
+def encode_instruction(inst: Instruction, pool: List[float]) -> int:
+    """Encode one instruction, appending any immediates to ``pool``."""
+    op = inst.op
+    prob_bit = 1 if op in _PROB_BASE else 0
+    base_op = _PROB_BASE.get(op, op)
+    if not 0 <= int(base_op) < 128:
+        raise EncodingError(f"opcode {base_op} exceeds 7 bits")
+
+    srcs = list(inst.srcs[:3])
+    if len(inst.srcs) > 3:
+        raise EncodingError(f"{op.name} has more than 3 sources")
+
+    imm_flags = 0
+    imm_values = []
+    src_fields = []
+    for index in range(3):
+        if index < len(srcs) and not isinstance(srcs[index], Reg):
+            imm_flags |= 1 << index
+            src_fields.append(len(imm_values))  # order index within group
+            imm_values.append(srcs[index])
+        elif index < len(srcs):
+            src_fields.append(srcs[index].num)
+        else:
+            src_fields.append(_NO_REG)
+
+    is_control = op in CONTROL_OPS
+    dest_field = _reg_field(inst.dest) if inst.dest is not None else _NO_REG
+
+    if imm_values:
+        pool_base = len(pool)
+        pool.extend(imm_values)
+        if pool_base >= (1 << 14) and is_control:
+            raise EncodingError("literal pool too large for control ops")
+        if pool_base >= _AUX_MASK:
+            raise EncodingError("literal pool too large")
+    else:
+        pool_base = 0
+
+    if is_control:
+        aux = inst.target if inst.target is not None else _NO_AUX
+        if imm_values:
+            # Field reuse: dest (7b) + src3 (7b) hold the pool base.
+            if inst.dest is not None:
+                raise EncodingError(
+                    f"{op.name} with both a destination and immediates"
+                )
+            dest_field = pool_base & 0x7F
+            src_fields[2] = (pool_base >> 7) & 0x7F
+    elif op in (Op.LOAD, Op.STORE, Op.FLOAD, Op.FSTORE, Op.OUT):
+        if not 0 <= inst.offset < _AUX_MASK:
+            raise EncodingError(f"memory offset {inst.offset} exceeds 22 bits")
+        aux = inst.offset
+        if imm_values:
+            # Memory/out instructions keep offsets in aux; immediates use
+            # the dead src3 field for the pool base.
+            src_fields[2] = pool_base & 0x7F
+            if pool_base >= (1 << 7):
+                raise EncodingError("literal pool too large for memory ops")
+    else:
+        aux = pool_base if imm_values else _NO_AUX
+
+    if aux != _NO_AUX and not 0 <= aux < _AUX_MASK:
+        raise EncodingError(f"aux value {aux} exceeds 22 bits")
+
+    word = int(base_op)
+    word |= prob_bit << 7
+    word |= _CMP_INDEX.get(inst.cmp_op, 0) << 8
+    word |= dest_field << 11
+    word |= src_fields[0] << 18
+    word |= src_fields[1] << 25
+    word |= src_fields[2] << 32
+    word |= imm_flags << 39
+    word |= (aux & _AUX_MASK) << 42
+    return word
+
+
+def decode_instruction(
+    word: int, pool: List[float], pbs_aware: bool = True
+) -> Instruction:
+    """Decode one word.  With ``pbs_aware=False`` the probabilistic bit
+    is ignored, modelling a legacy machine (paper §V-A2)."""
+    base_op = Op(word & 0x7F)
+    prob_bit = (word >> 7) & 1
+    cmp_index = (word >> 8) & 0x7
+    dest_field = (word >> 11) & 0x7F
+    src_fields = [(word >> 18) & 0x7F, (word >> 25) & 0x7F, (word >> 32) & 0x7F]
+    imm_flags = (word >> 39) & 0x7
+    aux = (word >> 42) & _AUX_MASK
+
+    op = base_op
+    if prob_bit and pbs_aware:
+        op = _PROB_FROM_BASE.get(base_op, base_op)
+
+    is_control = base_op in CONTROL_OPS or op in CONTROL_OPS
+    target = None
+    offset = 0
+    pool_base = 0
+    dest = None
+
+    if is_control:
+        target = None if aux == _NO_AUX else aux
+        if imm_flags:
+            pool_base = dest_field | (src_fields[2] << 7)
+        elif dest_field != _NO_REG:
+            dest = Reg(dest_field)
+    elif base_op in (Op.LOAD, Op.STORE, Op.FLOAD, Op.FSTORE, Op.OUT):
+        offset = aux
+        pool_base = src_fields[2] if imm_flags else 0
+        if dest_field != _NO_REG:
+            dest = Reg(dest_field)
+    else:
+        pool_base = aux if imm_flags else 0
+        if dest_field != _NO_REG:
+            dest = Reg(dest_field)
+
+    # Control and memory instructions reuse the src3 field for the pool
+    # base, so only two register sources may be decoded from them.
+    max_srcs = 2 if (is_control or base_op in (
+        Op.LOAD, Op.STORE, Op.FLOAD, Op.FSTORE, Op.OUT)) else 3
+    srcs = []
+    for index in range(max_srcs):
+        flagged = imm_flags & (1 << index)
+        fld = src_fields[index]
+        if flagged:
+            srcs.append(pool[pool_base + fld])
+        elif fld != _NO_REG:
+            srcs.append(Reg(fld))
+        else:
+            break
+
+    cmp_op = _CMP_NAME[cmp_index] if op in (Op.CMP, Op.PROB_CMP) else None
+
+    # Legacy view of a marked PROB_JMP: a plain JT reads only the flag.
+    if base_op is Op.JT and not (prob_bit and pbs_aware):
+        dest = None
+        srcs = srcs[:1]
+
+    return Instruction(
+        op, dest=dest, srcs=tuple(srcs), cmp_op=cmp_op,
+        target=target, offset=offset,
+    )
+
+
+def encode_program(program: Program) -> EncodedProgram:
+    """Encode a whole program (labels are resolved away, as in a binary)."""
+    encoded = EncodedProgram(name=program.name, data_size=program.data_size)
+    for inst in program.instructions:
+        encoded.words.append(encode_instruction(inst, encoded.pool))
+    return encoded
+
+
+def decode_program(
+    encoded: EncodedProgram, pbs_aware: bool = True
+) -> Program:
+    """Decode back to an executable Program.
+
+    ``pbs_aware=False`` produces the legacy-machine view: probabilistic
+    markers ignored, every branch a regular branch — the paper's
+    backward-compatibility guarantee, executable.
+    """
+    instructions = [
+        decode_instruction(word, encoded.pool, pbs_aware=pbs_aware)
+        for word in encoded.words
+    ]
+    suffix = "" if pbs_aware else "-legacy"
+    return Program(
+        encoded.name + suffix, instructions, data_size=encoded.data_size
+    )

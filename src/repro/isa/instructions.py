@@ -1,0 +1,86 @@
+"""Instruction representation.
+
+An :class:`Instruction` is a lightweight record: an opcode, an optional
+destination register, a tuple of source operands (registers or immediate
+numbers), an optional immediate, an optional branch target and — for the
+compare family — the comparison operator.
+
+Operands are either :class:`~repro.isa.registers.Reg` instances or plain
+Python numbers (``int``/``float``), which model immediates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from .opcodes import CONDITIONAL_BRANCH_OPS, CONTROL_OPS, Op
+from .registers import Reg
+
+Operand = Union[Reg, int, float]
+
+
+class Instruction:
+    """One machine instruction.
+
+    Attributes:
+        op: the opcode.
+        dest: destination register, or ``None``.
+        srcs: tuple of source operands (registers or immediates).
+        cmp_op: comparison operator for CMP/PROB_CMP (``'lt'``...).
+        target: resolved branch/jump/call target (instruction index), or
+            ``None`` for fall-through-only instructions.  A ``PROB_JMP``
+            used purely to register an extra swap value (the paper's
+            "Immediate set to zero" case) has ``target is None``.
+        label: unresolved label name; the builder/assembler resolves it
+            into ``target``.
+        offset: address offset for memory operations.
+    """
+
+    __slots__ = ("op", "dest", "srcs", "cmp_op", "target", "label", "offset")
+
+    def __init__(
+        self,
+        op: Op,
+        dest: Optional[Reg] = None,
+        srcs: Tuple[Operand, ...] = (),
+        cmp_op: Optional[str] = None,
+        target: Optional[int] = None,
+        label: Optional[str] = None,
+        offset: int = 0,
+    ):
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.cmp_op = cmp_op
+        self.target = target
+        self.label = label
+        self.offset = offset
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.op in CONDITIONAL_BRANCH_OPS and self.target is not None
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_probabilistic(self) -> bool:
+        return self.op in (Op.PROB_CMP, Op.PROB_JMP)
+
+    def source_regs(self) -> Tuple[Reg, ...]:
+        """The register sources (immediates filtered out)."""
+        return tuple(s for s in self.srcs if isinstance(s, Reg))
+
+    def __repr__(self) -> str:
+        parts = [self.op.name.lower()]
+        if self.cmp_op:
+            parts.append(self.cmp_op)
+        if self.dest is not None:
+            parts.append(repr(self.dest))
+        parts.extend(repr(s) for s in self.srcs)
+        if self.label is not None:
+            parts.append(self.label)
+        elif self.target is not None:
+            parts.append(f"@{self.target}")
+        return f"<{' '.join(parts)}>"

@@ -1,0 +1,213 @@
+"""Opcode definitions and static opcode metadata.
+
+Every opcode belongs to an :class:`OpClass`, which is what the timing model
+keys functional-unit latencies on.  The probabilistic instructions proposed
+by the paper — ``PROB_CMP`` and ``PROB_JMP`` — are first-class opcodes here;
+on a machine without PBS hardware they decay to their regular counterparts
+(``CMP`` and ``JCC``), which is exactly the backward-compatibility story of
+Section V-A2 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """All opcodes of the repro ISA."""
+
+    # Integer ALU.
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()
+    MOD = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SHL = enum.auto()
+    SHR = enum.auto()
+    SLT = enum.auto()
+    SLE = enum.auto()
+    SEQ = enum.auto()
+    SNE = enum.auto()
+    MIN = enum.auto()
+    MAX = enum.auto()
+    MOV = enum.auto()
+    SELECT = enum.auto()
+
+    # Floating point.
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+    FSQRT = enum.auto()
+    FEXP = enum.auto()
+    FLOG = enum.auto()
+    FSIN = enum.auto()
+    FCOS = enum.auto()
+    FABS = enum.auto()
+    FNEG = enum.auto()
+    FMIN = enum.auto()
+    FMAX = enum.auto()
+    FMOV = enum.auto()
+    FSELECT = enum.auto()
+
+    # Comparisons producing an integer 0/1.
+    FLT = enum.auto()
+    FLE = enum.auto()
+    FEQ = enum.auto()
+    FNE = enum.auto()
+
+    # Conversions.
+    ITOF = enum.auto()
+    FTOI = enum.auto()
+    FFLOOR = enum.auto()
+
+    # Memory.
+    LOAD = enum.auto()
+    STORE = enum.auto()
+    FLOAD = enum.auto()
+    FSTORE = enum.auto()
+
+    # Control flow.
+    CMP = enum.auto()
+    JT = enum.auto()
+    JF = enum.auto()
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BGE = enum.auto()
+    BLE = enum.auto()
+    BGT = enum.auto()
+    JMP = enum.auto()
+    CALL = enum.auto()
+    RET = enum.auto()
+
+    # Probabilistic branch support (the paper's ISA extension).
+    PROB_CMP = enum.auto()
+    PROB_JMP = enum.auto()
+
+    # Randomness, I/O and misc.
+    RAND = enum.auto()
+    RANDN = enum.auto()
+    OUT = enum.auto()
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+
+class OpClass(enum.IntEnum):
+    """Functional-unit class, used by the timing model for latencies."""
+
+    IALU = enum.auto()
+    IMUL = enum.auto()
+    IDIV = enum.auto()
+    FALU = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+    FTRANS = enum.auto()
+    LOAD = enum.auto()
+    STORE = enum.auto()
+    BRANCH = enum.auto()
+    JUMP = enum.auto()
+    CALL = enum.auto()
+    RET = enum.auto()
+    RAND = enum.auto()
+    OUT = enum.auto()
+    NOP = enum.auto()
+
+
+OP_CLASS: dict = {
+    Op.ADD: OpClass.IALU,
+    Op.SUB: OpClass.IALU,
+    Op.MUL: OpClass.IMUL,
+    Op.DIV: OpClass.IDIV,
+    Op.MOD: OpClass.IDIV,
+    Op.AND: OpClass.IALU,
+    Op.OR: OpClass.IALU,
+    Op.XOR: OpClass.IALU,
+    Op.SHL: OpClass.IALU,
+    Op.SHR: OpClass.IALU,
+    Op.SLT: OpClass.IALU,
+    Op.SLE: OpClass.IALU,
+    Op.SEQ: OpClass.IALU,
+    Op.SNE: OpClass.IALU,
+    Op.MIN: OpClass.IALU,
+    Op.MAX: OpClass.IALU,
+    Op.MOV: OpClass.IALU,
+    Op.SELECT: OpClass.IALU,
+    Op.FADD: OpClass.FALU,
+    Op.FSUB: OpClass.FALU,
+    Op.FMUL: OpClass.FMUL,
+    Op.FDIV: OpClass.FDIV,
+    Op.FSQRT: OpClass.FDIV,
+    Op.FEXP: OpClass.FTRANS,
+    Op.FLOG: OpClass.FTRANS,
+    Op.FSIN: OpClass.FTRANS,
+    Op.FCOS: OpClass.FTRANS,
+    Op.FABS: OpClass.FALU,
+    Op.FNEG: OpClass.FALU,
+    Op.FMIN: OpClass.FALU,
+    Op.FMAX: OpClass.FALU,
+    Op.FMOV: OpClass.FALU,
+    Op.FSELECT: OpClass.FALU,
+    Op.FLT: OpClass.FALU,
+    Op.FLE: OpClass.FALU,
+    Op.FEQ: OpClass.FALU,
+    Op.FNE: OpClass.FALU,
+    Op.ITOF: OpClass.FALU,
+    Op.FTOI: OpClass.FALU,
+    Op.FFLOOR: OpClass.FALU,
+    Op.LOAD: OpClass.LOAD,
+    Op.STORE: OpClass.STORE,
+    Op.FLOAD: OpClass.LOAD,
+    Op.FSTORE: OpClass.STORE,
+    Op.CMP: OpClass.IALU,
+    Op.JT: OpClass.BRANCH,
+    Op.JF: OpClass.BRANCH,
+    Op.BEQ: OpClass.BRANCH,
+    Op.BNE: OpClass.BRANCH,
+    Op.BLT: OpClass.BRANCH,
+    Op.BGE: OpClass.BRANCH,
+    Op.BLE: OpClass.BRANCH,
+    Op.BGT: OpClass.BRANCH,
+    Op.JMP: OpClass.JUMP,
+    Op.CALL: OpClass.CALL,
+    Op.RET: OpClass.RET,
+    Op.PROB_CMP: OpClass.IALU,
+    Op.PROB_JMP: OpClass.BRANCH,
+    Op.RAND: OpClass.RAND,
+    Op.RANDN: OpClass.RAND,
+    Op.OUT: OpClass.OUT,
+    Op.NOP: OpClass.NOP,
+    Op.HALT: OpClass.NOP,
+}
+
+#: Conditional branches: instructions whose taken/not-taken outcome the
+#: branch predictor is asked about.
+CONDITIONAL_BRANCH_OPS = frozenset(
+    {Op.JT, Op.JF, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLE, Op.BGT, Op.PROB_JMP}
+)
+
+#: All control-flow instructions (anything that may redirect fetch).
+CONTROL_OPS = CONDITIONAL_BRANCH_OPS | {Op.JMP, Op.CALL, Op.RET}
+
+#: Comparison operators accepted by CMP / PROB_CMP.
+CMP_OPERATORS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+def evaluate_cmp(operator: str, lhs, rhs) -> bool:
+    """Evaluate a comparison operator as used by CMP/PROB_CMP."""
+    if operator == "lt":
+        return lhs < rhs
+    if operator == "le":
+        return lhs <= rhs
+    if operator == "gt":
+        return lhs > rhs
+    if operator == "ge":
+        return lhs >= rhs
+    if operator == "eq":
+        return lhs == rhs
+    if operator == "ne":
+        return lhs != rhs
+    raise ValueError(f"unknown comparison operator: {operator!r}")

@@ -1,0 +1,72 @@
+"""Program container: a list of instructions plus labels and metadata."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .instructions import Instruction
+from .opcodes import CONDITIONAL_BRANCH_OPS, Op
+
+
+class Program:
+    """An assembled program.
+
+    Attributes:
+        name: human-readable program name.
+        instructions: the instruction list; the instruction index is the
+            program counter (one instruction per PC, word-addressed code).
+        labels: label name -> instruction index.
+        data_size: number of data-memory words the program expects.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: List[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        data_size: int = 0,
+    ):
+        self.name = name
+        self.instructions = instructions
+        self.labels = dict(labels or {})
+        self.data_size = data_size
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def label_of(self, pc: int) -> Optional[str]:
+        for name, index in self.labels.items():
+            if index == pc:
+                return name
+        return None
+
+    def static_branch_pcs(self) -> List[int]:
+        """PCs of all static conditional branches."""
+        return [
+            pc
+            for pc, inst in enumerate(self.instructions)
+            if inst.op in CONDITIONAL_BRANCH_OPS and inst.target is not None
+        ]
+
+    def probabilistic_branch_pcs(self) -> List[int]:
+        """PCs of static PROB_JMP instructions that actually jump."""
+        return [
+            pc
+            for pc, inst in enumerate(self.instructions)
+            if inst.op is Op.PROB_JMP and inst.target is not None
+        ]
+
+    def static_branch_summary(self) -> Dict[str, int]:
+        """Static branch counts in the style of the paper's Table II."""
+        branches = self.static_branch_pcs()
+        probabilistic = self.probabilistic_branch_pcs()
+        return {
+            "total_branches": len(branches),
+            "probabilistic_branches": len(probabilistic),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Program {self.name!r}: {len(self.instructions)} instructions>"

@@ -1,0 +1,100 @@
+"""Register model for the repro ISA.
+
+The machine has 32 integer registers (``r0``..``r31``) and 32 floating-point
+registers (``f0``..``f31``).  Internally both files share a single flat
+register space: integer registers occupy numbers 0..31 and float registers
+occupy numbers 32..63.  A 65th slot (``COND``, number 64) holds the condition
+flag written by compare instructions, mirroring the compare-and-jump idiom
+the paper builds its probabilistic instructions on.
+
+``Reg`` instances are interned: ``R(3) is R(3)`` holds, which keeps
+instruction objects light and makes registers usable as dict keys with
+identity semantics.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FLOAT_REGS = 32
+FLOAT_BASE = NUM_INT_REGS
+COND_REG_NUM = NUM_INT_REGS + NUM_FLOAT_REGS
+NUM_REGS = COND_REG_NUM + 1
+
+
+class Reg:
+    """A machine register.
+
+    Attributes:
+        num: flat register number (0..64).
+        kind: ``'i'`` for integer, ``'f'`` for float, ``'c'`` for the
+            condition flag.
+    """
+
+    __slots__ = ("num", "kind", "_name")
+    _interned: dict = {}
+
+    def __new__(cls, num: int) -> "Reg":
+        cached = cls._interned.get(num)
+        if cached is not None:
+            return cached
+        if not 0 <= num < NUM_REGS:
+            raise ValueError(f"register number out of range: {num}")
+        self = object.__new__(cls)
+        self.num = num
+        if num == COND_REG_NUM:
+            self.kind = "c"
+            self._name = "cond"
+        elif num >= FLOAT_BASE:
+            self.kind = "f"
+            self._name = f"f{num - FLOAT_BASE}"
+        else:
+            self.kind = "i"
+            self._name = f"r{num}"
+        cls._interned[num] = self
+        return self
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "f"
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind == "i"
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __reduce__(self):
+        return (Reg, (self.num,))
+
+
+def R(index: int) -> Reg:
+    """Integer register ``r<index>``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return Reg(index)
+
+
+def F(index: int) -> Reg:
+    """Floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FLOAT_REGS:
+        raise ValueError(f"float register index out of range: {index}")
+    return Reg(FLOAT_BASE + index)
+
+
+COND = Reg(COND_REG_NUM)
+
+
+def parse_reg(text: str) -> Reg:
+    """Parse a register name such as ``r7``, ``f12`` or ``cond``."""
+    text = text.strip().lower()
+    if text == "cond":
+        return COND
+    if len(text) >= 2 and text[0] in "rf" and text[1:].isdigit():
+        index = int(text[1:])
+        return R(index) if text[0] == "r" else F(index)
+    raise ValueError(f"not a register name: {text!r}")

@@ -1,0 +1,105 @@
+"""Static validation of assembled programs.
+
+Catches the malformed-program classes that would otherwise surface as
+confusing runtime errors inside the simulator: dangling branch targets,
+type-mismatched operands, PROB_CMP/PROB_JMP pairing violations (the paper
+requires every probabilistic jump to be preceded by a probabilistic compare
+in the same basic block), and out-of-range memory hints.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import Instruction
+from .opcodes import CMP_OPERATORS, Op
+from .program import Program
+from .registers import Reg
+
+
+class ValidationError(Exception):
+    """Raised when a program fails static validation."""
+
+
+_FLOAT_DEST_OPS = {
+    Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FSQRT, Op.FEXP, Op.FLOG,
+    Op.FSIN, Op.FCOS, Op.FABS, Op.FNEG, Op.FMIN, Op.FMAX, Op.FMOV,
+    Op.FSELECT, Op.ITOF, Op.FFLOOR, Op.FLOAD, Op.RAND, Op.RANDN,
+}
+
+_INT_DEST_OPS = {
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
+    Op.SHL, Op.SHR, Op.SLT, Op.SLE, Op.SEQ, Op.SNE, Op.MIN, Op.MAX,
+    Op.MOV, Op.SELECT, Op.FLT, Op.FLE, Op.FEQ, Op.FNE, Op.FTOI, Op.LOAD,
+}
+
+
+def _check_target(index: int, inst: Instruction, size: int, errors: List[str]):
+    if inst.target is not None and not 0 <= inst.target < size:
+        errors.append(
+            f"@{index}: {inst.op.name} target {inst.target} outside program"
+        )
+
+
+def validate_program(program: Program) -> None:
+    """Validate ``program``; raise :class:`ValidationError` on problems."""
+    errors: List[str] = []
+    size = len(program.instructions)
+    if size == 0:
+        raise ValidationError(f"program {program.name!r} is empty")
+
+    pending_prob_cmp = False
+    for index, inst in enumerate(program.instructions):
+        op = inst.op
+
+        if op in _FLOAT_DEST_OPS and inst.dest is not None and not inst.dest.is_float:
+            errors.append(f"@{index}: {op.name} needs a float destination")
+        if op in _INT_DEST_OPS and inst.dest is not None and not inst.dest.is_int:
+            errors.append(f"@{index}: {op.name} needs an integer destination")
+
+        if op in (Op.CMP, Op.PROB_CMP):
+            if inst.cmp_op not in CMP_OPERATORS:
+                errors.append(f"@{index}: {op.name} has bad operator {inst.cmp_op!r}")
+
+        if op is Op.PROB_CMP:
+            if pending_prob_cmp:
+                errors.append(f"@{index}: PROB_CMP without intervening PROB_JMP")
+            pending_prob_cmp = True
+        elif op is Op.PROB_JMP:
+            if not pending_prob_cmp:
+                errors.append(f"@{index}: PROB_JMP without preceding PROB_CMP")
+            if inst.target is not None:
+                # The jumping PROB_JMP closes the probabilistic group.
+                pending_prob_cmp = False
+        elif pending_prob_cmp:
+            # The probabilistic group must be contiguous: in hardware the
+            # swap happens as PROB_CMP/PROB_JMP execute, so any other
+            # instruction between them would observe unswapped values.
+            errors.append(
+                f"@{index}: {op.name} between PROB_CMP and its final PROB_JMP"
+            )
+            pending_prob_cmp = False
+
+        if op in (Op.LOAD, Op.FLOAD):
+            if len(inst.source_regs()) != 1:
+                errors.append(f"@{index}: {op.name} needs one base register")
+        if op in (Op.STORE, Op.FSTORE):
+            if len(inst.srcs) != 2 or not isinstance(inst.srcs[1], Reg):
+                errors.append(f"@{index}: {op.name} needs (value, base) operands")
+
+        _check_target(index, inst, size, errors)
+
+    if pending_prob_cmp:
+        errors.append("program ends with an unclosed PROB_CMP group")
+
+    last = program.instructions[-1]
+    if last.op not in (Op.HALT, Op.JMP, Op.RET) and last.target is None:
+        # Function bodies may follow the main HALT, so RET is a legal
+        # final instruction too; falling off the end is not.
+        errors.append("program does not end in HALT, RET or an unconditional jump")
+
+    if errors:
+        summary = "; ".join(errors[:10])
+        raise ValidationError(
+            f"program {program.name!r} failed validation: {summary}"
+        )

@@ -1,0 +1,5 @@
+"""Cache hierarchy substrate."""
+
+from .cache import Cache, MemoryHierarchy
+
+__all__ = ["Cache", "MemoryHierarchy"]

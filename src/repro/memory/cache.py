@@ -1,0 +1,110 @@
+"""Set-associative LRU caches and a two-level hierarchy.
+
+The paper's memory system (Section VI-B): split 32 KB L1 I/D caches and a
+unified 2 MB L2.  Our workloads are register-resident kernels with small
+data footprints, so the hierarchy mostly provides realistic load latencies;
+it is nonetheless a full functional model (sets, ways, LRU, allocate on
+miss) so memory-heavy workloads behave sensibly too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int = 64,
+        ways: int = 8,
+        latency: int = 4,
+    ):
+        if size_bytes % (line_bytes * ways) != 0:
+            raise ValueError("size must be divisible by line_bytes * ways")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.latency = latency
+        self.num_sets = size_bytes // (line_bytes * ways)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # Per set: list of tags, most recently used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Access ``addr`` (byte address); returns True on hit."""
+        line = addr >> self._line_shift
+        index = line & self._set_mask
+        tag = line >> (self.num_sets.bit_length() - 1)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > self.ways:
+            ways.pop(0)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+
+class MemoryHierarchy:
+    """L1-D + L2 + main memory with additive miss latencies."""
+
+    def __init__(
+        self,
+        l1: Optional[Cache] = None,
+        l2: Optional[Cache] = None,
+        memory_latency: int = 200,
+        word_bytes: int = 8,
+    ):
+        self.l1 = l1 if l1 is not None else Cache("l1d", 32 * 1024, latency=4)
+        self.l2 = l2 if l2 is not None else Cache(
+            "l2", 2 * 1024 * 1024, ways=16, latency=12
+        )
+        self.memory_latency = memory_latency
+        self.word_bytes = word_bytes
+
+    def access(self, word_addr: int) -> int:
+        """Latency (cycles) to access data-memory word ``word_addr``."""
+        addr = word_addr * self.word_bytes
+        if self.l1.access(addr):
+            return self.l1.latency
+        if self.l2.access(addr):
+            return self.l1.latency + self.l2.latency
+        return self.l1.latency + self.l2.latency + self.memory_latency
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "l1_accesses": self.l1.accesses,
+            "l1_miss_rate": self.l1.miss_rate,
+            "l2_accesses": self.l2.accesses,
+            "l2_miss_rate": self.l2.miss_rate,
+        }
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()

@@ -1,0 +1,67 @@
+"""Out-of-order core configurations.
+
+The paper evaluates two design points (Sections VI-B and VII-B):
+
+* a 4-wide core with a 168-entry ROB "configured after Intel's Sandy
+  Bridge" with a 10-cycle branch misprediction (front-end refill) penalty;
+* an 8-wide core with a 256-entry ROB for the wider-pipeline experiment
+  (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa.opcodes import OpClass
+
+DEFAULT_LATENCIES: Dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 20,
+    OpClass.FALU: 3,
+    OpClass.FMUL: 5,
+    OpClass.FDIV: 15,
+    OpClass.FTRANS: 20,
+    OpClass.LOAD: 0,    # provided by the memory hierarchy
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.CALL: 1,
+    OpClass.RET: 1,
+    OpClass.RAND: 20,   # models the drand48 LCG dependency chain
+    OpClass.OUT: 1,
+    OpClass.NOP: 1,
+}
+
+
+@dataclass
+class CoreConfig:
+    """Parameters of the interval/dataflow out-of-order core model."""
+
+    name: str = "sandy-bridge-4w"
+    width: int = 4
+    rob_size: int = 168
+    mispredict_penalty: int = 10
+    l1_latency: int = 4
+    latencies: Dict[OpClass, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES)
+    )
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise ValueError("width must be at least 1")
+        if self.rob_size < self.width:
+            raise ValueError("rob_size must be at least the pipeline width")
+        if self.mispredict_penalty < 0:
+            raise ValueError("mispredict_penalty must be non-negative")
+
+
+def four_wide() -> CoreConfig:
+    """The paper's baseline core (Figure 7)."""
+    return CoreConfig(name="sandy-bridge-4w", width=4, rob_size=168)
+
+
+def eight_wide() -> CoreConfig:
+    """The paper's wide core (Figure 8)."""
+    return CoreConfig(name="wide-8w", width=8, rob_size=256)

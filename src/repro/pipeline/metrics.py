@@ -1,0 +1,70 @@
+"""Performance metrics produced by the timing model."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..branch.harness import BranchStats
+
+
+class CoreStats:
+    """Cycle and branch statistics for one timed run."""
+
+    def __init__(self, core_name: str, predictor_name: str = ""):
+        self.core_name = core_name
+        self.predictor_name = predictor_name
+        self.instructions = 0
+        self.cycles = 0
+        self.branches = BranchStats()
+        #: Front-end idle cycles attributable to branch mispredictions
+        #: (resolution delay + refill penalty).
+        self.branch_stall_cycles = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.branches.mispredicts / self.instructions
+
+    def cpi_stack(self, width: int = None) -> Dict[str, float]:
+        """An approximate CPI breakdown (Sniper-style CPI stack).
+
+        ``base`` is the bandwidth-bound floor (1/width per instruction),
+        ``branch`` the misprediction stalls, ``other`` the remainder
+        (dataflow dependences, long-latency units, window stalls).
+        """
+        if self.instructions == 0:
+            return {"base": 0.0, "branch": 0.0, "other": 0.0}
+        total_cpi = self.cycles / self.instructions
+        if width:
+            base = 1.0 / width
+        else:
+            base = min(total_cpi, 0.25)
+        branch = self.branch_stall_cycles / self.instructions
+        other = max(0.0, total_cpi - base - branch)
+        return {"base": base, "branch": branch, "other": other}
+
+    def as_dict(self) -> Dict[str, float]:
+        data = {
+            "core": self.core_name,
+            "predictor": self.predictor_name,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "mpki": self.mpki,
+        }
+        data.update(
+            {f"branch_{k}": v for k, v in self.branches.as_dict().items()}
+        )
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"<CoreStats {self.core_name}/{self.predictor_name}: "
+            f"{self.instructions} insns, {self.cycles} cycles, "
+            f"IPC {self.ipc:.3f}, MPKI {self.mpki:.3f}>"
+        )

@@ -1,0 +1,202 @@
+"""Interval/dataflow timing model of an out-of-order superscalar core.
+
+The model replays the committed-path trace (like Sniper's interval core
+model, which the paper itself uses) and computes cycle counts from the
+four first-order mechanisms PBS interacts with:
+
+* **front-end bandwidth** — at most ``width`` instructions enter the
+  window per cycle;
+* **branch mispredictions** — a mispredicted branch stalls fetch until it
+  resolves (its dataflow completion) plus the front-end refill penalty;
+  PBS-hit branches never mispredict (direction known at fetch);
+* **the ROB window** — an instruction cannot dispatch until the
+  instruction ``rob_size`` older has committed (in order, ``width`` per
+  cycle), so long-latency producers stall the window;
+* **dataflow** — issue waits for source registers; functional-unit
+  latencies per opcode class; load latency from the cache hierarchy.
+
+Issue-port contention is deliberately not modelled (interval-model
+approximation); with realistic widths the bandwidth and window constraints
+dominate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from ..branch.base import BranchPredictor
+from ..functional.trace import ProbMode, TraceEvent
+from ..isa.opcodes import OpClass
+from ..memory import MemoryHierarchy
+from .config import CoreConfig
+from .metrics import CoreStats
+
+
+class OoOCore:
+    """A trace sink computing cycles, IPC and branch statistics."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        predictor: BranchPredictor,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        filter_probabilistic: bool = False,
+        oracle_pcs=frozenset(),
+        pbs_inserts_history: bool = True,
+    ):
+        self.config = config
+        self.predictor = predictor
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy()
+        self.filter_probabilistic = filter_probabilistic
+        #: Branches at these PCs resolve from a decoupled predicate queue
+        #: (control-flow decoupling's branch-on-queue): never mispredicted
+        #: and invisible to the predictor.
+        self.oracle_pcs = oracle_pcs
+        #: Shift PBS-known directions into predictor history (free in
+        #: hardware; preserves correlation for regular branches).
+        self.pbs_inserts_history = pbs_inserts_history
+        self.stats = CoreStats(config.name, predictor_name=predictor.name)
+
+        self._latency: Dict[int, int] = dict(config.latencies)
+        self._reg_ready: Dict[int, int] = {}
+        self._frontend_ready = 0
+        self._dispatch_cycle = 0
+        self._dispatch_slots = 0
+        self._commit_cycle = 0
+        self._commit_slots = 0
+        self._commit_times = deque()
+        self._last_cycle = 0
+
+    # ------------------------------------------------------------------
+    def __call__(self, event: TraceEvent) -> None:
+        self.feed(event)
+
+    def feed(self, event: TraceEvent) -> None:
+        config = self.config
+        width = config.width
+        stats = self.stats
+        stats.instructions += 1
+
+        # ----- dispatch: front-end bandwidth + ROB occupancy -----------
+        dispatch = self._frontend_ready
+        commit_times = self._commit_times
+        if len(commit_times) >= config.rob_size:
+            # The slot frees the cycle after its occupant commits.
+            oldest = commit_times.popleft()
+            if oldest + 1 > dispatch:
+                dispatch = oldest + 1
+        if dispatch > self._dispatch_cycle:
+            self._dispatch_cycle = dispatch
+            self._dispatch_slots = 1
+        else:
+            if self._dispatch_slots >= width:
+                self._dispatch_cycle += 1
+                self._dispatch_slots = 1
+            else:
+                self._dispatch_slots += 1
+            dispatch = self._dispatch_cycle
+
+        # ----- issue & execute: dataflow ------------------------------
+        ready = dispatch + 1
+        reg_ready = self._reg_ready
+        for reg in event.srcs:
+            when = reg_ready.get(reg, 0)
+            if when > ready:
+                ready = when
+
+        op_class = event.op_class
+        if op_class == OpClass.LOAD:
+            latency = self.hierarchy.access(event.addr)
+        elif op_class == OpClass.STORE:
+            self.hierarchy.access(event.addr)
+            latency = self._latency[OpClass.STORE]
+        else:
+            latency = self._latency[op_class]
+        complete = ready + latency
+
+        if event.dest >= 0:
+            reg_ready[event.dest] = complete
+
+        # ----- branches: predictor interaction ------------------------
+        if event.is_cond_branch:
+            mispredicted = self._handle_branch(event)
+            if mispredicted:
+                self._frontend_ready = complete + config.mispredict_penalty
+                # CPI-stack attribution: the front-end sits idle from the
+                # cycle after the branch entered the window until it
+                # resolves and the pipeline refills.
+                stall = self._frontend_ready - (dispatch + 1)
+                if stall > 0:
+                    stats.branch_stall_cycles += stall
+
+        # ----- commit: in order, width per cycle -----------------------
+        commit = complete
+        if commit < self._commit_cycle:
+            commit = self._commit_cycle
+        if commit == self._commit_cycle:
+            if self._commit_slots >= width:
+                commit += 1
+                self._commit_slots = 1
+            else:
+                self._commit_slots += 1
+        else:
+            self._commit_slots = 1
+        self._commit_cycle = commit
+        commit_times.append(commit)
+        if commit > self._last_cycle:
+            self._last_cycle = commit
+
+    # ------------------------------------------------------------------
+    def _handle_branch(self, event: TraceEvent) -> bool:
+        """Consult the predictor; returns True on a misprediction."""
+        stats = self.stats
+        prob_mode = event.prob_mode
+
+        if prob_mode == ProbMode.PBS_HIT:
+            stats.branches.pbs_hits += 1
+            if self.pbs_inserts_history:
+                self.predictor.insert_history(event.pc, event.taken)
+            return False
+
+        if event.pc in self.oracle_pcs:
+            # CFD branch-on-queue: the predicate is waiting at fetch.
+            stats.branches.regular_branches += 1
+            return False
+
+        is_prob = prob_mode == ProbMode.PREDICTED
+        if is_prob and self.filter_probabilistic:
+            stats.branches.prob_branches += 1
+            if event.taken:  # static not-taken for filtered branches
+                stats.branches.prob_mispredicts += 1
+                return True
+            return False
+
+        predictor = self.predictor
+        if predictor.perfect:
+            if is_prob:
+                stats.branches.prob_branches += 1
+            else:
+                stats.branches.regular_branches += 1
+            return False
+
+        prediction = predictor.predict(event.pc)
+        predictor.update(event.pc, event.taken)
+        mispredicted = prediction != event.taken
+        if is_prob:
+            stats.branches.prob_branches += 1
+            if mispredicted:
+                stats.branches.prob_mispredicts += 1
+        else:
+            stats.branches.regular_branches += 1
+            if mispredicted:
+                stats.branches.regular_mispredicts += 1
+        return mispredicted
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> CoreStats:
+        """Close accounting and return the stats object."""
+        stats = self.stats
+        stats.cycles = self._last_cycle if self._last_cycle else 1
+        stats.branches.instructions = stats.instructions
+        return stats

@@ -1,0 +1,30 @@
+"""Statistics substrate: randomness battery and confidence intervals."""
+
+from .confidence import Interval, count_interval, mean_interval, proportion_interval
+from .randomness import (
+    BATTERY,
+    FAIL,
+    NUM_TESTS,
+    PASS,
+    WEAK,
+    TestResult,
+    classify,
+    run_battery,
+    summarize,
+)
+
+__all__ = [
+    "Interval",
+    "count_interval",
+    "mean_interval",
+    "proportion_interval",
+    "BATTERY",
+    "FAIL",
+    "NUM_TESTS",
+    "PASS",
+    "WEAK",
+    "TestResult",
+    "classify",
+    "run_battery",
+    "summarize",
+]

@@ -1,0 +1,287 @@
+"""A mini-DieHarder: statistical randomness tests for value streams.
+
+The paper's Table III runs the 114-test DieHarder battery over the random
+values "in the order as they get processed under PBS" versus the original
+order, seven seeds each, and reports 95% confidence intervals of the
+PASS/WEAK/FAIL counts.  We implement a 19-test battery with the same
+verdict semantics (two-sided p-values; FAIL below 1e-6, WEAK outside
+[0.005, 0.995]) built on scipy.
+
+Each test takes the raw value stream (floats, nominally uniform in
+[0, 1)); streams of derived values that are not uniform will fail the
+distribution tests — in both the original and the PBS order, which is
+exactly the comparison the paper makes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+FAIL_THRESHOLD = 1e-6
+WEAK_LOW = 0.005
+WEAK_HIGH = 0.995
+
+PASS, WEAK, FAIL = "PASS", "WEAK", "FAIL"
+
+
+def classify(p_value: float) -> str:
+    """DieHarder-style verdict for a p-value."""
+    if p_value < FAIL_THRESHOLD or p_value > 1.0 - FAIL_THRESHOLD:
+        return FAIL
+    if p_value < WEAK_LOW or p_value > WEAK_HIGH:
+        return WEAK
+    return PASS
+
+
+@dataclass(frozen=True)
+class TestResult:
+    name: str
+    p_value: float
+
+    @property
+    def verdict(self) -> str:
+        return classify(self.p_value)
+
+
+# ----------------------------------------------------------------------
+# Individual tests.  Each takes a numpy array and returns a p-value.
+# ----------------------------------------------------------------------
+def _ks_uniform(values: np.ndarray) -> float:
+    return sps.kstest(values, "uniform").pvalue
+
+
+def _chi2_uniform(bins: int) -> Callable[[np.ndarray], float]:
+    def test(values: np.ndarray) -> float:
+        clipped = np.clip(values, 0.0, np.nextafter(1.0, 0.0))
+        counts, _ = np.histogram(clipped, bins=bins, range=(0.0, 1.0))
+        return sps.chisquare(counts).pvalue
+
+    return test
+
+
+def _monobit(values: np.ndarray) -> float:
+    bits = values < 0.5
+    n = len(bits)
+    if n == 0:
+        return 1.0
+    z = (2.0 * bits.sum() - n) / math.sqrt(n)
+    return math.erfc(abs(z) / math.sqrt(2.0))
+
+
+def _runs_above_below_median(values: np.ndarray) -> float:
+    median = np.median(values)
+    signs = values >= median
+    n1 = int(signs.sum())
+    n2 = len(signs) - n1
+    if n1 == 0 or n2 == 0:
+        return 0.0
+    runs = 1 + int(np.count_nonzero(signs[1:] != signs[:-1]))
+    mean = 2.0 * n1 * n2 / (n1 + n2) + 1.0
+    var = (
+        2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2)
+        / ((n1 + n2) ** 2 * (n1 + n2 - 1.0))
+    )
+    if var <= 0:
+        return 0.0
+    z = (runs - mean) / math.sqrt(var)
+    return math.erfc(abs(z) / math.sqrt(2.0))
+
+
+def _serial_correlation(lag: int) -> Callable[[np.ndarray], float]:
+    def test(values: np.ndarray) -> float:
+        if len(values) <= lag + 2:
+            return 1.0
+        x, y = values[:-lag], values[lag:]
+        if np.std(x) == 0 or np.std(y) == 0:
+            return 0.0
+        r = float(np.corrcoef(x, y)[0, 1])
+        r = max(min(r, 0.999999), -0.999999)
+        # Fisher z-transform.
+        z = 0.5 * math.log((1 + r) / (1 - r)) * math.sqrt(len(x) - 3)
+        return math.erfc(abs(z) / math.sqrt(2.0))
+
+    return test
+
+
+def _gap_test(low: float, high: float) -> Callable[[np.ndarray], float]:
+    """Lengths of gaps between visits to [low, high) are geometric."""
+    p_in = high - low
+
+    def test(values: np.ndarray) -> float:
+        inside = (values >= low) & (values < high)
+        gaps: List[int] = []
+        gap = 0
+        for hit in inside:
+            if hit:
+                gaps.append(gap)
+                gap = 0
+            else:
+                gap += 1
+        if len(gaps) < 20:
+            return 1.0
+        max_gap = 8
+        observed = np.zeros(max_gap + 1)
+        for g in gaps:
+            observed[min(g, max_gap)] += 1
+        expected_probs = np.array(
+            [p_in * (1 - p_in) ** k for k in range(max_gap)]
+            + [(1 - p_in) ** max_gap]
+        )
+        expected = expected_probs * len(gaps)
+        mask = expected >= 1.0
+        if mask.sum() < 2:
+            return 1.0
+        return sps.chisquare(
+            observed[mask], expected[mask] * observed[mask].sum()
+            / expected[mask].sum()
+        ).pvalue
+
+    return test
+
+
+def _extreme_of_t(t: int, use_max: bool) -> Callable[[np.ndarray], float]:
+    """Max (or min) of groups of t uniforms has CDF x^t (or 1-(1-x)^t)."""
+
+    def test(values: np.ndarray) -> float:
+        usable = len(values) - len(values) % t
+        if usable < 5 * t:
+            return 1.0
+        groups = np.clip(values[:usable], 0.0, 1.0).reshape(-1, t)
+        if use_max:
+            extremes = groups.max(axis=1)
+            transformed = extremes**t
+        else:
+            extremes = groups.min(axis=1)
+            transformed = 1.0 - (1.0 - extremes) ** t
+        return sps.kstest(transformed, "uniform").pvalue
+
+    return test
+
+
+def _permutations_of_3(values: np.ndarray) -> float:
+    usable = len(values) - len(values) % 3
+    if usable < 60:
+        return 1.0
+    triples = values[:usable].reshape(-1, 3)
+    orders = np.argsort(triples, axis=1)
+    codes = orders[:, 0] * 9 + orders[:, 1] * 3 + orders[:, 2]
+    _, counts = np.unique(codes, return_counts=True)
+    if len(counts) < 6:
+        counts = np.concatenate([counts, np.zeros(6 - len(counts))])
+    return sps.chisquare(counts).pvalue
+
+
+def _pairs_2d(values: np.ndarray) -> float:
+    usable = len(values) - len(values) % 2
+    if usable < 256:
+        return 1.0
+    pairs = np.clip(values[:usable], 0.0, np.nextafter(1.0, 0.0)).reshape(-1, 2)
+    cells = (pairs[:, 0] * 8).astype(int) * 8 + (pairs[:, 1] * 8).astype(int)
+    counts = np.bincount(cells, minlength=64)
+    return sps.chisquare(counts).pvalue
+
+
+def _sums_of_10(values: np.ndarray) -> float:
+    usable = len(values) - len(values) % 10
+    if usable < 100:
+        return 1.0
+    sums = values[:usable].reshape(-1, 10).sum(axis=1)
+    # Sum of 10 U(0,1): mean 5, variance 10/12.
+    standardized = (sums - 5.0) / math.sqrt(10.0 / 12.0)
+    return sps.kstest(standardized, "norm").pvalue
+
+
+def _collisions(values: np.ndarray) -> float:
+    """Throw n values into 256 bins; collisions ~ known mean/variance."""
+    n = min(len(values), 2048)
+    if n < 256:
+        return 1.0
+    m = 256.0
+    bins = (np.clip(values[:n], 0.0, np.nextafter(1.0, 0.0)) * m).astype(int)
+    distinct = len(np.unique(bins))
+    collisions = n - distinct
+    expected = n - m * (1.0 - (1.0 - 1.0 / m) ** n)
+    variance = m * (m - 1) * (1 - 2 / m) ** n + m * (1 - 1 / m) ** n \
+        - m * m * (1 - 1 / m) ** (2 * n)
+    if variance <= 0:
+        return 1.0
+    z = (collisions - expected) / math.sqrt(variance)
+    return math.erfc(abs(z) / math.sqrt(2.0))
+
+
+def _mean_test(values: np.ndarray) -> float:
+    n = len(values)
+    if n < 10:
+        return 1.0
+    z = (values.mean() - 0.5) / math.sqrt(1.0 / 12.0 / n)
+    return math.erfc(abs(z) / math.sqrt(2.0))
+
+
+def _variance_test(values: np.ndarray) -> float:
+    n = len(values)
+    if n < 10:
+        return 1.0
+    sample_var = values.var(ddof=1)
+    # Var of the sample variance of U(0,1): (mu4 - sigma^4 (n-3)/(n-1))/n.
+    mu4 = 1.0 / 80.0
+    sigma2 = 1.0 / 12.0
+    var_of_var = (mu4 - sigma2**2 * (n - 3.0) / (n - 1.0)) / n
+    z = (sample_var - sigma2) / math.sqrt(var_of_var)
+    return math.erfc(abs(z) / math.sqrt(2.0))
+
+
+BATTERY: Dict[str, Callable[[np.ndarray], float]] = {
+    "ks_uniform": _ks_uniform,
+    "chi2_uniform_16": _chi2_uniform(16),
+    "chi2_uniform_64": _chi2_uniform(64),
+    "monobit": _monobit,
+    "runs_median": _runs_above_below_median,
+    "serial_corr_lag1": _serial_correlation(1),
+    "serial_corr_lag2": _serial_correlation(2),
+    "serial_corr_lag3": _serial_correlation(3),
+    "serial_corr_lag5": _serial_correlation(5),
+    "gap_low_half": _gap_test(0.0, 0.5),
+    "gap_high_half": _gap_test(0.5, 1.0),
+    "max_of_5": _extreme_of_t(5, use_max=True),
+    "min_of_5": _extreme_of_t(5, use_max=False),
+    "permutations_3": _permutations_of_3,
+    "pairs_2d_8x8": _pairs_2d,
+    "sums_of_10": _sums_of_10,
+    "collisions_256": _collisions,
+    "mean": _mean_test,
+    "variance": _variance_test,
+}
+
+NUM_TESTS = len(BATTERY)
+
+
+def run_battery(values: Sequence[float]) -> List[TestResult]:
+    """Run all tests over ``values`` and return per-test results."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        # An empty stream is vacuously untestable: every test abstains.
+        return [TestResult(name, 1.0) for name in BATTERY]
+    results = []
+    with np.errstate(invalid="ignore", divide="ignore"):
+        for name, test in BATTERY.items():
+            try:
+                p_value = float(test(array))
+            except (ValueError, FloatingPointError):
+                p_value = 0.0
+            if math.isnan(p_value):
+                p_value = 0.0
+            results.append(TestResult(name, p_value))
+    return results
+
+
+def summarize(results: Sequence[TestResult]) -> Dict[str, int]:
+    """PASS/WEAK/FAIL counts for one battery run."""
+    summary = {PASS: 0, WEAK: 0, FAIL: 0}
+    for result in results:
+        summary[result.verdict] += 1
+    return summary

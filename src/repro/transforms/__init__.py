@@ -1,0 +1,25 @@
+"""Prior-technique baselines: predication and control-flow decoupling."""
+
+from .analysis import (
+    TABLE1,
+    Applicability,
+    cfd_applicable,
+    pbs_applicable,
+    predication_applicable,
+)
+from .cfd import CFD_APPLICABLE, CHUNK, CfdProgram, build_cfd
+from .predication import PREDICATABLE, build_predicated
+
+__all__ = [
+    "TABLE1",
+    "Applicability",
+    "cfd_applicable",
+    "pbs_applicable",
+    "predication_applicable",
+    "CFD_APPLICABLE",
+    "CHUNK",
+    "CfdProgram",
+    "build_cfd",
+    "PREDICATABLE",
+    "build_predicated",
+]

@@ -1,0 +1,451 @@
+"""Control-Flow Decoupling (CFD) variants (paper §II-B2, after Sheikh,
+Tuck & Rotenberg, MICRO 2012).
+
+CFD splits a loop containing a *separable* branch into two loops: the
+first computes branch predicates (and any data values the second loop
+needs) and pushes them onto a queue; the second pops the queue and runs
+the control-dependent code.  The queue branch resolves from the queue
+head at fetch — it never mispredicts — at the cost of loop overhead and
+explicit push/pop instructions, which is exactly the trade-off the paper
+describes.
+
+Our model: the transformed programs below implement the split loops and
+the memory-backed queue (chunked to a bounded size like real CFD
+hardware); the returned ``queue_branch_pcs`` are handed to the timing
+model's ``oracle_pcs`` so those branches behave like branch-on-queue.
+
+Applicable benchmarks (Table I): DOP, Greeks, Genetic, MC-integ, PI.
+Swaptions and Bandit reach their branch through a non-inlinable call, and
+Photon has a hard-to-split loop-carried dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet
+
+from ..isa import F, Program, ProgramBuilder, R
+from ..workloads import dop as dop_mod
+from ..workloads import genetic as gen_mod
+from ..workloads import greeks as greeks_mod
+from ..workloads import mc_integ as mc_mod
+from ..workloads import pi as pi_mod
+
+CFD_APPLICABLE = ("dop", "greeks", "genetic", "mc-integ", "pi")
+
+#: Hardware queue depth: iterations are chunked to this many entries.
+CHUNK = 128
+
+
+@dataclass(frozen=True)
+class CfdProgram:
+    """A CFD-transformed program plus its branch-on-queue PCs."""
+
+    program: Program
+    queue_branch_pcs: FrozenSet[int]
+
+
+def _hit_counter_cfd(
+    name: str,
+    iterations: int,
+    emit_sample,
+) -> CfdProgram:
+    """Shared shape for PI and MC-integ: loop 1 computes the hit
+    predicate per sample into the queue, loop 2 counts hits."""
+    b = ProgramBuilder(name, data_size=CHUNK)
+    hits, count, remaining, m, k, pred = R(1), R(2), R(3), R(4), R(5), R(6)
+
+    b.li(hits, 0)
+    b.li(count, iterations)
+    b.mov(remaining, count)
+    b.label("chunk")
+    b.imin(m, remaining, CHUNK)
+    # Loop 1: generate samples, push predicates.
+    b.li(k, 0)
+    b.label("produce")
+    emit_sample(b, pred)
+    b.store(pred, k)
+    b.add(k, k, 1)
+    b.blt(k, m, "produce")
+    # Loop 2: pop predicates, run the control-dependent code.
+    b.li(k, 0)
+    b.label("consume")
+    b.load(pred, k)
+    queue_branch = b.pc()
+    b.beq(pred, 0, "skip")
+    b.add(hits, hits, 1)
+    b.label("skip")
+    b.add(k, k, 1)
+    b.blt(k, m, "consume")
+    b.sub(remaining, remaining, m)
+    b.bgt(remaining, 0, "chunk")
+    b.out(hits)
+    b.out(count)
+    b.halt()
+    return CfdProgram(b.build(), frozenset({queue_branch}))
+
+
+def build_cfd_pi(scale: float = 1.0) -> CfdProgram:
+    iterations = pi_mod.PiWorkload().iterations(scale)
+
+    def sample(b, pred):
+        dx, dy, dx2, dy2, dist2 = F(1), F(2), F(3), F(4), F(5)
+        b.rand(dx)
+        b.rand(dy)
+        b.fmul(dx2, dx, dx)
+        b.fmul(dy2, dy, dy)
+        b.fadd(dist2, dx2, dy2)
+        b.flt(pred, dist2, 1.0)
+
+    return _hit_counter_cfd("pi-cfd", iterations, sample)
+
+
+def build_cfd_mc_integ(scale: float = 1.0) -> CfdProgram:
+    iterations = mc_mod.McIntegWorkload().iterations(scale)
+
+    def sample(b, pred):
+        x, y, x2, ex2, derived = F(1), F(2), F(3), F(4), F(5)
+        b.rand(x)
+        b.rand(y)
+        b.fmul(x2, x, x)
+        b.fexp(ex2, x2)
+        b.fmul(derived, y, ex2)
+        b.flt(pred, derived, 1.0)
+
+    return _hit_counter_cfd("mc-integ-cfd", iterations, sample)
+
+
+def build_cfd_dop(scale: float = 1.0) -> CfdProgram:
+    paths = dop_mod.DopWorkload().paths(scale)
+    b = ProgramBuilder("dop-cfd", data_size=2 * CHUNK)
+    call_hits, put_hits, count, remaining, m, k, pred = (
+        R(1), R(2), R(3), R(4), R(5), R(6), R(7)
+    )
+    u1, u2, radius, theta, gauss, s_t, tmp = (
+        F(1), F(2), F(3), F(4), F(5), F(6), F(7)
+    )
+
+    b.li(call_hits, 0)
+    b.li(put_hits, 0)
+    b.li(count, paths)
+    b.mov(remaining, count)
+    b.label("chunk")
+    b.imin(m, remaining, CHUNK)
+    b.li(k, 0)
+    b.label("produce")
+    b.rand(u1)
+    b.rand(u2)
+    b.flog(tmp, u1)
+    b.fmul(tmp, tmp, -2.0)
+    b.fsqrt(radius, tmp)
+    b.fmul(theta, u2, dop_mod.TWO_PI)
+    b.fcos(tmp, theta)
+    b.fmul(gauss, radius, tmp)
+    b.fmul(tmp, gauss, dop_mod.VOL_SQRT_T)
+    b.fexp(tmp, tmp)
+    b.fmul(s_t, tmp, dop_mod.S_ADJUST)
+    b.flt(pred, dop_mod.STRIKE, s_t)
+    b.store(pred, k)
+    b.flt(pred, s_t, dop_mod.STRIKE)
+    b.store(pred, k, CHUNK)
+    b.add(k, k, 1)
+    b.blt(k, m, "produce")
+    b.li(k, 0)
+    b.label("consume")
+    b.load(pred, k)
+    call_branch = b.pc()
+    b.beq(pred, 0, "skip_call")
+    b.add(call_hits, call_hits, 1)
+    b.label("skip_call")
+    b.load(pred, k, CHUNK)
+    put_branch = b.pc()
+    b.beq(pred, 0, "skip_put")
+    b.add(put_hits, put_hits, 1)
+    b.label("skip_put")
+    b.add(k, k, 1)
+    b.blt(k, m, "consume")
+    b.sub(remaining, remaining, m)
+    b.bgt(remaining, 0, "chunk")
+    b.out(call_hits)
+    b.out(put_hits)
+    b.out(count)
+    b.halt()
+    return CfdProgram(b.build(), frozenset({call_branch, put_branch}))
+
+
+def build_cfd_greeks(scale: float = 1.0) -> CfdProgram:
+    paths = greeks_mod.GreeksWorkload().paths(scale)
+    # Queues: three predicate queues and three value queues (Category-2:
+    # the control-dependent code needs the probabilistic value itself).
+    b = ProgramBuilder("greeks-cfd", data_size=6 * CHUNK)
+    count, remaining, m, k, pred = R(1), R(2), R(3), R(4), R(5)
+    u1, u2, radius, theta, gauss, growth, tmp = (
+        F(1), F(2), F(3), F(4), F(5), F(6), F(7)
+    )
+    s_val = F(8)
+    sum_mid, sum_up, sum_down = F(11), F(12), F(13)
+
+    b.li(count, paths)
+    b.mov(remaining, count)
+    b.fli(sum_mid, 0.0)
+    b.fli(sum_up, 0.0)
+    b.fli(sum_down, 0.0)
+    b.label("chunk")
+    b.imin(m, remaining, CHUNK)
+    b.li(k, 0)
+    b.label("produce")
+    b.rand(u1)
+    b.rand(u2)
+    b.flog(tmp, u1)
+    b.fmul(tmp, tmp, -2.0)
+    b.fsqrt(radius, tmp)
+    b.fmul(theta, u2, greeks_mod.TWO_PI)
+    b.fcos(tmp, theta)
+    b.fmul(gauss, radius, tmp)
+    b.fmul(tmp, gauss, greeks_mod.VOL_SQRT_T)
+    b.fexp(growth, tmp)
+    for queue, adjust in enumerate(
+        (greeks_mod.ADJUST_MID, greeks_mod.ADJUST_UP, greeks_mod.ADJUST_DOWN)
+    ):
+        b.fmul(s_val, growth, adjust)
+        b.flt(pred, greeks_mod.STRIKE, s_val)
+        b.store(pred, k, queue * CHUNK)
+        b.fstore(s_val, k, (3 + queue) * CHUNK)
+    b.add(k, k, 1)
+    b.blt(k, m, "produce")
+    b.li(k, 0)
+    queue_branches = []
+    b.label("consume")
+    for queue, sum_reg, skip in (
+        (0, sum_mid, "skip_mid"),
+        (1, sum_up, "skip_up"),
+        (2, sum_down, "skip_down"),
+    ):
+        b.load(pred, k, queue * CHUNK)
+        queue_branches.append(b.pc())
+        b.beq(pred, 0, skip)
+        b.fload(s_val, k, (3 + queue) * CHUNK)
+        b.fsub(tmp, s_val, greeks_mod.STRIKE)
+        b.fadd(sum_reg, sum_reg, tmp)
+        b.label(skip)
+    b.add(k, k, 1)
+    b.blt(k, m, "consume")
+    b.sub(remaining, remaining, m)
+    b.bgt(remaining, 0, "chunk")
+    b.out(sum_mid)
+    b.out(sum_up)
+    b.out(sum_down)
+    b.out(count)
+    b.halt()
+    return CfdProgram(b.build(), frozenset(queue_branches))
+
+
+def build_cfd_genetic(scale: float = 1.0) -> CfdProgram:
+    """Genetic with the hot mutation branch decoupled.
+
+    The mutation loop over each freshly bred child pair is split: loop 1
+    draws all 2*LEN mutation uniforms into a predicate queue (the same
+    drand48 order as the original, so outputs stay bit-identical), loop 2
+    applies the flips under a branch-on-queue.  The colder crossover
+    decision stays a regular branch, as does the data-dependent flip.
+    """
+    workload = gen_mod.GeneticWorkload()
+    max_generations = workload.generations(scale)
+    POP, LEN = gen_mod.POP, gen_mod.LEN
+    queue_base = gen_mod.DATA_SIZE
+    b = ProgramBuilder("genetic-cfd", data_size=gen_mod.DATA_SIZE + 2 * LEN)
+
+    p, j, f, addr, bit, tmp = R(1), R(2), R(3), R(4), R(5), R(6)
+    best, gen, cand_a, cand_b, par1, par2 = R(7), R(8), R(9), R(10), R(11), R(12)
+    child, cut, m, mend, tbit = R(13), R(14), R(15), R(16), R(17)
+    fa, fb, pred, k = R(18), R(19), R(20), R(21)
+    u, ftmp = F(1), F(2)
+
+    b.li(j, 0)
+    b.label("init_target")
+    b.and_(tbit, j, 1)
+    b.store(tbit, j, gen_mod.ADDR_TARGET)
+    b.add(j, j, 1)
+    b.blt(j, LEN, "init_target")
+
+    b.li(j, 0)
+    b.label("init_pop")
+    b.rand(u)
+    b.flt(bit, u, 0.5)
+    b.store(bit, j, gen_mod.ADDR_POP)
+    b.add(j, j, 1)
+    b.blt(j, POP * LEN, "init_pop")
+
+    b.li(gen, 0)
+    b.label("generation")
+    b.li(best, 0)
+    b.li(p, 0)
+    b.label("fit_p")
+    b.li(f, 0)
+    b.mul(addr, p, LEN)
+    b.li(j, 0)
+    b.label("fit_j")
+    b.load(bit, addr, gen_mod.ADDR_POP)
+    b.load(tbit, j, gen_mod.ADDR_TARGET)
+    b.seq(tmp, bit, tbit)
+    b.add(f, f, tmp)
+    b.add(addr, addr, 1)
+    b.add(j, j, 1)
+    b.blt(j, LEN, "fit_j")
+    b.store(f, p, gen_mod.ADDR_FITNESS)
+    b.imax(best, best, f)
+    b.add(p, p, 1)
+    b.blt(p, POP, "fit_p")
+
+    b.beq(best, LEN, "success")
+
+    b.li(child, 0)
+    b.label("breed")
+    b.rand(u)
+    b.fmul(ftmp, u, POP)
+    b.ftoi(cand_a, ftmp)
+    b.rand(u)
+    b.fmul(ftmp, u, POP)
+    b.ftoi(cand_b, ftmp)
+    b.load(fa, cand_a, gen_mod.ADDR_FITNESS)
+    b.load(fb, cand_b, gen_mod.ADDR_FITNESS)
+    b.mov(par1, cand_a)
+    b.bge(fa, fb, "sel1_done")
+    b.mov(par1, cand_b)
+    b.label("sel1_done")
+    b.rand(u)
+    b.fmul(ftmp, u, POP)
+    b.ftoi(cand_a, ftmp)
+    b.rand(u)
+    b.fmul(ftmp, u, POP)
+    b.ftoi(cand_b, ftmp)
+    b.load(fa, cand_a, gen_mod.ADDR_FITNESS)
+    b.load(fb, cand_b, gen_mod.ADDR_FITNESS)
+    b.mov(par2, cand_a)
+    b.bge(fa, fb, "sel2_done")
+    b.mov(par2, cand_b)
+    b.label("sel2_done")
+
+    # Crossover decision: a regular branch in the CFD variant.
+    b.rand(u)
+    b.cmp("lt", u, gen_mod.CROSSOVER_RATE)
+    b.jf("no_cross")
+    b.rand(u)
+    b.fmul(ftmp, u, LEN)
+    b.ftoi(cut, ftmp)
+    b.li(j, 0)
+    b.label("cx_loop")
+    b.mul(addr, par1, LEN)
+    b.add(addr, addr, j)
+    b.load(fa, addr, gen_mod.ADDR_POP)
+    b.mul(addr, par2, LEN)
+    b.add(addr, addr, j)
+    b.load(fb, addr, gen_mod.ADDR_POP)
+    b.mul(addr, child, LEN)
+    b.add(addr, addr, j)
+    b.blt(j, cut, "cx_head")
+    b.store(fb, addr, gen_mod.ADDR_NEWPOP)
+    b.store(fa, addr, gen_mod.ADDR_NEWPOP + LEN)
+    b.jmp("cx_next")
+    b.label("cx_head")
+    b.store(fa, addr, gen_mod.ADDR_NEWPOP)
+    b.store(fb, addr, gen_mod.ADDR_NEWPOP + LEN)
+    b.label("cx_next")
+    b.add(j, j, 1)
+    b.blt(j, LEN, "cx_loop")
+    b.jmp("mutate")
+
+    b.label("no_cross")
+    b.li(j, 0)
+    b.label("copy_loop")
+    b.mul(addr, par1, LEN)
+    b.add(addr, addr, j)
+    b.load(fa, addr, gen_mod.ADDR_POP)
+    b.mul(addr, par2, LEN)
+    b.add(addr, addr, j)
+    b.load(fb, addr, gen_mod.ADDR_POP)
+    b.mul(addr, child, LEN)
+    b.add(addr, addr, j)
+    b.store(fa, addr, gen_mod.ADDR_NEWPOP)
+    b.store(fb, addr, gen_mod.ADDR_NEWPOP + LEN)
+    b.add(j, j, 1)
+    b.blt(j, LEN, "copy_loop")
+
+    b.label("mutate")
+    # CFD loop 1: push all mutation predicates for this child pair.
+    b.li(k, 0)
+    b.label("mut_produce")
+    b.rand(u)
+    b.flt(pred, u, gen_mod.MUTATION_RATE)
+    b.store(pred, k, queue_base)
+    b.add(k, k, 1)
+    b.blt(k, 2 * LEN, "mut_produce")
+    # CFD loop 2: pop predicates, apply flips under branch-on-queue.
+    b.mul(m, child, LEN)
+    b.add(mend, m, 2 * LEN)
+    b.li(k, 0)
+    b.label("mut_consume")
+    b.load(pred, k, queue_base)
+    queue_branch = b.pc()
+    b.beq(pred, 0, "no_mut")
+    b.load(bit, m, gen_mod.ADDR_NEWPOP)
+    b.beq(bit, 1, "flip_zero")
+    b.li(bit, 1)
+    b.jmp("write_bit")
+    b.label("flip_zero")
+    b.li(bit, 0)
+    b.label("write_bit")
+    b.store(bit, m, gen_mod.ADDR_NEWPOP)
+    b.label("no_mut")
+    b.add(m, m, 1)
+    b.add(k, k, 1)
+    b.blt(k, 2 * LEN, "mut_consume")
+
+    b.add(child, child, 2)
+    b.blt(child, POP, "breed")
+
+    b.li(j, 0)
+    b.label("swap_pop")
+    b.load(bit, j, gen_mod.ADDR_NEWPOP)
+    b.store(bit, j, gen_mod.ADDR_POP)
+    b.add(j, j, 1)
+    b.blt(j, POP * LEN, "swap_pop")
+
+    b.add(gen, gen, 1)
+    b.blt(gen, max_generations, "generation")
+
+    b.out(0)
+    b.out(gen)
+    b.out(best)
+    b.halt()
+
+    b.label("success")
+    b.out(1)
+    b.out(gen)
+    b.out(best)
+    b.halt()
+    return CfdProgram(b.build(), frozenset({queue_branch}))
+
+
+_BUILDERS: Dict[str, Callable[[float], CfdProgram]] = {
+    "pi": build_cfd_pi,
+    "mc-integ": build_cfd_mc_integ,
+    "dop": build_cfd_dop,
+    "greeks": build_cfd_greeks,
+    "genetic": build_cfd_genetic,
+}
+
+
+def build_cfd(name: str, scale: float = 1.0) -> CfdProgram:
+    """CFD variant of benchmark ``name``.
+
+    Raises ``KeyError`` for the benchmarks CFD cannot handle (Table I).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"CFD is not applicable to {name!r} (paper Table I); "
+            f"applicable: {', '.join(CFD_APPLICABLE)}"
+        ) from None
+    return builder(scale)

@@ -1,0 +1,129 @@
+"""Predicated (if-converted) variants of the applicable benchmarks.
+
+Predication removes the probabilistic branch entirely: the branch
+condition becomes a 0/1 predicate that guards the computation as a data
+dependence (paper §II-B1).  The GNU compiler only manages this for DOP,
+MC-integ and PI; those three variants are built here and verified to
+produce bit-identical outputs to the branchy originals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..isa import F, Program, ProgramBuilder, R
+from ..workloads import dop as dop_mod
+from ..workloads import mc_integ as mc_mod
+from ..workloads import pi as pi_mod
+
+PREDICATABLE = ("dop", "mc-integ", "pi")
+
+
+def build_predicated_pi(scale: float = 1.0) -> Program:
+    iterations = pi_mod.PiWorkload().iterations(scale)
+    b = ProgramBuilder("pi-predicated")
+    hits, count, i, pred = R(1), R(2), R(3), R(4)
+    dx, dy, dx2, dy2, dist2 = F(1), F(2), F(3), F(4), F(5)
+
+    b.li(hits, 0)
+    b.li(count, iterations)
+    b.li(i, 0)
+    b.label("loop")
+    b.rand(dx)
+    b.rand(dy)
+    b.fmul(dx2, dx, dx)
+    b.fmul(dy2, dy, dy)
+    b.fadd(dist2, dx2, dy2)
+    b.flt(pred, dist2, 1.0)      # pred = dist2 < 1.0
+    b.add(hits, hits, pred)      # hits += pred (no branch)
+    b.add(i, i, 1)
+    b.blt(i, count, "loop")
+    b.out(hits)
+    b.out(count)
+    b.halt()
+    return b.build()
+
+
+def build_predicated_mc_integ(scale: float = 1.0) -> Program:
+    iterations = mc_mod.McIntegWorkload().iterations(scale)
+    b = ProgramBuilder("mc-integ-predicated")
+    hits, count, i, pred = R(1), R(2), R(3), R(4)
+    x, y, x2, ex2, derived = F(1), F(2), F(3), F(4), F(5)
+
+    b.li(hits, 0)
+    b.li(count, iterations)
+    b.li(i, 0)
+    b.label("loop")
+    b.rand(x)
+    b.rand(y)
+    b.fmul(x2, x, x)
+    b.fexp(ex2, x2)
+    b.fmul(derived, y, ex2)
+    b.flt(pred, derived, 1.0)
+    b.add(hits, hits, pred)
+    b.add(i, i, 1)
+    b.blt(i, count, "loop")
+    b.out(hits)
+    b.out(count)
+    b.halt()
+    return b.build()
+
+
+def build_predicated_dop(scale: float = 1.0) -> Program:
+    paths = dop_mod.DopWorkload().paths(scale)
+    b = ProgramBuilder("dop-predicated")
+    call_hits, put_hits, count, i, pred = R(1), R(2), R(3), R(4), R(5)
+    u1, u2, radius, theta, gauss, s_t, tmp = (
+        F(1), F(2), F(3), F(4), F(5), F(6), F(7)
+    )
+
+    b.li(call_hits, 0)
+    b.li(put_hits, 0)
+    b.li(count, paths)
+    b.li(i, 0)
+    b.label("path")
+    b.rand(u1)
+    b.rand(u2)
+    b.flog(tmp, u1)
+    b.fmul(tmp, tmp, -2.0)
+    b.fsqrt(radius, tmp)
+    b.fmul(theta, u2, dop_mod.TWO_PI)
+    b.fcos(tmp, theta)
+    b.fmul(gauss, radius, tmp)
+    b.fmul(tmp, gauss, dop_mod.VOL_SQRT_T)
+    b.fexp(tmp, tmp)
+    b.fmul(s_t, tmp, dop_mod.S_ADJUST)
+    b.flt(pred, dop_mod.STRIKE, s_t)     # S_T > K
+    b.add(call_hits, call_hits, pred)
+    b.flt(pred, s_t, dop_mod.STRIKE)     # S_T < K
+    b.add(put_hits, put_hits, pred)
+    b.add(i, i, 1)
+    b.blt(i, count, "path")
+    b.out(call_hits)
+    b.out(put_hits)
+    b.out(count)
+    b.halt()
+    return b.build()
+
+
+_BUILDERS: Dict[str, Callable[[float], Program]] = {
+    "pi": build_predicated_pi,
+    "mc-integ": build_predicated_mc_integ,
+    "dop": build_predicated_dop,
+}
+
+
+def build_predicated(name: str, scale: float = 1.0) -> Program:
+    """Predicated variant of benchmark ``name``.
+
+    Raises ``KeyError`` for benchmarks the paper's compiler could not
+    if-convert (Table I).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"predication is not applicable to {name!r} (paper Table I); "
+            f"applicable: {', '.join(PREDICATABLE)}"
+        ) from None
+    return builder(scale)

@@ -1,0 +1,29 @@
+"""The paper's eight probabilistic benchmarks (Table II)."""
+
+from .bandit import BanditWorkload
+from .base import PaperFacts, Workload, WorkloadRun
+from .dop import DopWorkload
+from .genetic import GeneticWorkload
+from .greeks import GreeksWorkload
+from .mc_integ import McIntegWorkload
+from .photon import PhotonWorkload
+from .pi import PiWorkload
+from .registry import all_workloads, get_workload, workload_names
+from .swaptions import SwaptionsWorkload
+
+__all__ = [
+    "BanditWorkload",
+    "PaperFacts",
+    "Workload",
+    "WorkloadRun",
+    "DopWorkload",
+    "GeneticWorkload",
+    "GreeksWorkload",
+    "McIntegWorkload",
+    "PhotonWorkload",
+    "PiWorkload",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+    "SwaptionsWorkload",
+]

@@ -1,0 +1,168 @@
+"""Bandit: multi-armed bandit with an epsilon-greedy policy (§II-A3).
+
+Eight Bernoulli arms with fixed (unknown to the agent) success
+probabilities.  At every step a uniform draw against the constant epsilon
+decides between exploring a random arm and exploiting the empirical-best
+arm — the single Category-1 probabilistic branch the paper marks.  The
+arm-reward branch compares against the *chosen arm's* probability, which
+varies between iterations, so it stays a regular branch (it would fail the
+PBS Const-Val check by design).
+
+The exploit path's argmax scan over the Q table supplies the dense
+regular-branch behaviour of the original BanditLib code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..functional.rng import Drand48
+from ..isa import F, Program, ProgramBuilder, R
+from .base import PaperFacts, Workload
+
+DEFAULT_STEPS = 8_000
+NUM_ARMS = 8
+EPSILON = 0.1
+# A clearly separated best arm keeps epsilon-greedy convergence stable at
+# simulation scale (the paper ran billions of steps where any gap works).
+ARM_PROBS = (0.30, 0.20, 0.45, 0.90, 0.35, 0.10, 0.25, 0.40)
+BEST_PROB = max(ARM_PROBS)
+
+# Data memory layout (word addresses).
+ADDR_PROBS = 0
+ADDR_Q = NUM_ARMS
+ADDR_COUNTS = 2 * NUM_ARMS
+DATA_SIZE = 3 * NUM_ARMS
+
+
+class BanditWorkload(Workload):
+    name = "bandit"
+    description = "Epsilon-greedy multi-armed bandit (8 Bernoulli arms)"
+    paper = PaperFacts(
+        prob_branches=1,
+        total_branches=864,
+        category=1,
+        simulated_instructions="2.8 Billion",
+    )
+
+    def steps(self, scale: float) -> int:
+        return max(1, int(DEFAULT_STEPS * scale))
+
+    def build(self, scale: float = 1.0) -> Program:
+        steps = self.steps(scale)
+        b = ProgramBuilder("bandit", data_size=DATA_SIZE)
+        step, total, arm, scan, best_arm, count, tmp_i = (
+            R(1), R(2), R(3), R(4), R(5), R(6), R(7)
+        )
+        u, v, q, best_q, tmp, reward = F(1), F(2), F(3), F(4), F(5), F(6)
+
+        # Initialise the arm probability table (compile-time constants).
+        # Q starts optimistic (1.0) so every arm is tried early and the
+        # agent reliably converges to the best arm — the standard trick,
+        # which also keeps the benchmark's behaviour stable at simulation
+        # scale.
+        for index, prob in enumerate(ARM_PROBS):
+            b.li(tmp_i, index)
+            b.fli(tmp, prob)
+            b.fstore(tmp, tmp_i, ADDR_PROBS)
+            b.fli(tmp, 1.0)
+            b.fstore(tmp, tmp_i, ADDR_Q)
+            b.li(count, 0)
+            b.store(count, tmp_i, ADDR_COUNTS)
+
+        b.li(step, 0)
+        b.li(total, 0)
+        b.label("loop")
+        # Epsilon-greedy decision: the marked probabilistic branch.
+        b.rand(u)
+        b.prob_cmp("lt", u, EPSILON)
+        b.prob_jmp(None, "explore")
+        # Exploit: argmax over the Q table (regular-branch dense).
+        b.li(best_arm, 0)
+        b.li(scan, 0)
+        b.fload(best_q, scan, ADDR_Q)
+        b.label("argmax")
+        b.fload(q, scan, ADDR_Q)
+        b.cmp("le", q, best_q)
+        b.jt("not_better")
+        b.fmov(best_q, q)
+        b.mov(best_arm, scan)
+        b.label("not_better")
+        b.add(scan, scan, 1)
+        b.blt(scan, NUM_ARMS, "argmax")
+        b.mov(arm, best_arm)
+        b.jmp("act")
+
+        b.label("explore")
+        b.rand(v)
+        b.fmul(v, v, NUM_ARMS)
+        b.ftoi(arm, v)
+
+        b.label("act")
+        # Bernoulli reward from the chosen arm (regular branch: the
+        # comparison value p[arm] changes with the arm).
+        b.rand(v)
+        b.fload(tmp, arm, ADDR_PROBS)
+        b.fli(reward, 0.0)
+        b.cmp("ge", v, tmp)
+        b.jt("no_reward")
+        b.fli(reward, 1.0)
+        b.add(total, total, 1)
+        b.label("no_reward")
+        # Incremental Q update: Q += (r - Q) / count.
+        b.load(count, arm, ADDR_COUNTS)
+        b.add(count, count, 1)
+        b.store(count, arm, ADDR_COUNTS)
+        b.fload(q, arm, ADDR_Q)
+        b.fsub(tmp, reward, q)
+        b.itof(v, count)
+        b.fdiv(tmp, tmp, v)
+        b.fadd(q, q, tmp)
+        b.fstore(q, arm, ADDR_Q)
+        b.add(step, step, 1)
+        b.blt(step, steps, "loop")
+        b.out(total)
+        b.out(step)
+        b.halt()
+        return b.build()
+
+    def reference(self, scale: float = 1.0, seed: int = 0) -> Dict[str, float]:
+        steps = self.steps(scale)
+        rng = Drand48(seed)
+        q_table: List[float] = [1.0] * NUM_ARMS  # optimistic initialisation
+        counts = [0] * NUM_ARMS
+        total = 0
+        for _ in range(steps):
+            u = rng.uniform()
+            if u < EPSILON:
+                arm = int(rng.uniform() * NUM_ARMS)
+            else:
+                arm = 0
+                best_q = q_table[0]
+                for scan in range(NUM_ARMS):
+                    if q_table[scan] > best_q:
+                        best_q = q_table[scan]
+                        arm = scan
+            reward = 1.0 if rng.uniform() < ARM_PROBS[arm] else 0.0
+            if reward:
+                total += 1
+            counts[arm] += 1
+            q_table[arm] += (reward - q_table[arm]) / counts[arm]
+        return self._package(total, steps)
+
+    def outputs(self, state) -> Dict[str, float]:
+        total, steps = state.output()[:2]
+        return self._package(total, steps)
+
+    @staticmethod
+    def _package(total, steps) -> Dict[str, float]:
+        return {
+            "reward": total,
+            "average_reward": total / steps,
+            "regret": BEST_PROB * steps - total,
+        }
+
+    def accuracy_error(self, baseline, candidate) -> float:
+        return abs(candidate["average_reward"] - baseline["average_reward"]) / abs(
+            baseline["average_reward"]
+        )

@@ -1,0 +1,302 @@
+"""Genetic: a bitstring genetic algorithm (paper §II-A1, after [14]).
+
+Evolves a population of bitstrings toward a fixed target pattern using
+tournament selection, single-point crossover and per-bit mutation.  The
+two marked Category-1 probabilistic branches match Table II:
+
+* the **crossover decision** — ``rand < CROSSOVER_RATE`` per mating;
+* the **mutation decision** — ``rand < MUTATION_RATE`` per bit, the hot
+  probabilistic branch (population * length draws per generation).
+
+The bit-flip inside the mutation path (``if bits[i] == '1'``) and the
+fitness/selection comparisons are data-dependent *regular* branches,
+exactly as in the paper's code where only the two probabilistic
+comparisons are converted.
+
+The benchmark's success metric is whether the target is matched within
+the generation budget; the paper reports the success *rate* across seeds
+(0.2 for the original, statistically indistinguishable under PBS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..functional.rng import Drand48
+from ..isa import F, Program, ProgramBuilder, R
+from .base import PaperFacts, Workload
+
+POP = 12
+LEN = 24
+CROSSOVER_RATE = 0.7
+MUTATION_RATE = 0.03
+DEFAULT_GENERATIONS = 28
+
+# Data memory layout (word addresses).
+ADDR_POP = 0
+ADDR_NEWPOP = POP * LEN
+ADDR_FITNESS = 2 * POP * LEN
+ADDR_TARGET = 2 * POP * LEN + POP
+DATA_SIZE = 2 * POP * LEN + POP + LEN
+
+
+def target_bit(index: int) -> int:
+    """The target pattern: alternating bits."""
+    return index & 1
+
+
+class GeneticWorkload(Workload):
+    name = "genetic"
+    description = "Bitstring genetic algorithm with tournament selection"
+    paper = PaperFacts(
+        prob_branches=2,
+        total_branches=182,
+        category=1,
+        simulated_instructions="2.3 Billion",
+    )
+
+    def generations(self, scale: float) -> int:
+        return max(1, int(DEFAULT_GENERATIONS * scale))
+
+    # ------------------------------------------------------------------
+    def build(self, scale: float = 1.0) -> Program:
+        max_generations = self.generations(scale)
+        b = ProgramBuilder("genetic", data_size=DATA_SIZE)
+        # Integer registers.
+        p, j, f, addr, bit, tmp = R(1), R(2), R(3), R(4), R(5), R(6)
+        best, gen, cand_a, cand_b, par1, par2 = R(7), R(8), R(9), R(10), R(11), R(12)
+        child, cut, m, mend, tbit = R(13), R(14), R(15), R(16), R(17)
+        fa, fb = R(18), R(19)
+        # Float registers.
+        u, ftmp = F(1), F(2)
+
+        # ---- target pattern and random initial population -------------
+        b.li(j, 0)
+        b.label("init_target")
+        b.and_(tbit, j, 1)
+        b.store(tbit, j, ADDR_TARGET)
+        b.add(j, j, 1)
+        b.blt(j, LEN, "init_target")
+
+        b.li(j, 0)
+        b.label("init_pop")
+        b.rand(u)
+        b.flt(bit, u, 0.5)
+        b.store(bit, j, ADDR_POP)
+        b.add(j, j, 1)
+        b.blt(j, POP * LEN, "init_pop")
+
+        b.li(gen, 0)
+        b.label("generation")
+
+        # ---- fitness evaluation ---------------------------------------
+        b.li(best, 0)
+        b.li(p, 0)
+        b.label("fit_p")
+        b.li(f, 0)
+        b.mul(addr, p, LEN)
+        b.li(j, 0)
+        b.label("fit_j")
+        b.load(bit, addr, ADDR_POP)
+        b.load(tbit, j, ADDR_TARGET)
+        b.seq(tmp, bit, tbit)
+        b.add(f, f, tmp)
+        b.add(addr, addr, 1)
+        b.add(j, j, 1)
+        b.blt(j, LEN, "fit_j")
+        b.store(f, p, ADDR_FITNESS)
+        b.imax(best, best, f)
+        b.add(p, p, 1)
+        b.blt(p, POP, "fit_p")
+
+        b.beq(best, LEN, "success")
+
+        # ---- breeding: pairs of children ------------------------------
+        b.li(child, 0)
+        b.label("breed")
+        # Tournament selection, parent 1.
+        b.rand(u)
+        b.fmul(ftmp, u, POP)
+        b.ftoi(cand_a, ftmp)
+        b.rand(u)
+        b.fmul(ftmp, u, POP)
+        b.ftoi(cand_b, ftmp)
+        b.load(fa, cand_a, ADDR_FITNESS)
+        b.load(fb, cand_b, ADDR_FITNESS)
+        b.mov(par1, cand_a)
+        b.bge(fa, fb, "sel1_done")
+        b.mov(par1, cand_b)
+        b.label("sel1_done")
+        # Tournament selection, parent 2.
+        b.rand(u)
+        b.fmul(ftmp, u, POP)
+        b.ftoi(cand_a, ftmp)
+        b.rand(u)
+        b.fmul(ftmp, u, POP)
+        b.ftoi(cand_b, ftmp)
+        b.load(fa, cand_a, ADDR_FITNESS)
+        b.load(fb, cand_b, ADDR_FITNESS)
+        b.mov(par2, cand_a)
+        b.bge(fa, fb, "sel2_done")
+        b.mov(par2, cand_b)
+        b.label("sel2_done")
+
+        # Crossover decision: probabilistic branch #1.
+        b.rand(u)
+        b.prob_cmp("ge", u, CROSSOVER_RATE)
+        b.prob_jmp(None, "no_cross")
+        # Single-point crossover at a random cut.
+        b.rand(u)
+        b.fmul(ftmp, u, LEN)
+        b.ftoi(cut, ftmp)
+        b.li(j, 0)
+        b.label("cx_loop")
+        b.mul(addr, par1, LEN)
+        b.add(addr, addr, j)
+        b.load(fa, addr, ADDR_POP)       # p1 bit
+        b.mul(addr, par2, LEN)
+        b.add(addr, addr, j)
+        b.load(fb, addr, ADDR_POP)       # p2 bit
+        b.mul(addr, child, LEN)
+        b.add(addr, addr, j)
+        b.blt(j, cut, "cx_head")
+        # Tail: child gets p2, sibling gets p1.
+        b.store(fb, addr, ADDR_NEWPOP)
+        b.store(fa, addr, ADDR_NEWPOP + LEN)
+        b.jmp("cx_next")
+        b.label("cx_head")
+        b.store(fa, addr, ADDR_NEWPOP)
+        b.store(fb, addr, ADDR_NEWPOP + LEN)
+        b.label("cx_next")
+        b.add(j, j, 1)
+        b.blt(j, LEN, "cx_loop")
+        b.jmp("mutate")
+
+        b.label("no_cross")
+        # Plain copy of both parents.
+        b.li(j, 0)
+        b.label("copy_loop")
+        b.mul(addr, par1, LEN)
+        b.add(addr, addr, j)
+        b.load(fa, addr, ADDR_POP)
+        b.mul(addr, par2, LEN)
+        b.add(addr, addr, j)
+        b.load(fb, addr, ADDR_POP)
+        b.mul(addr, child, LEN)
+        b.add(addr, addr, j)
+        b.store(fa, addr, ADDR_NEWPOP)
+        b.store(fb, addr, ADDR_NEWPOP + LEN)
+        b.add(j, j, 1)
+        b.blt(j, LEN, "copy_loop")
+
+        b.label("mutate")
+        # Mutation over both children: probabilistic branch #2 (hot).
+        b.mul(m, child, LEN)
+        b.add(mend, m, 2 * LEN)
+        b.label("mut_loop")
+        b.rand(u)
+        b.prob_cmp("ge", u, MUTATION_RATE)
+        b.prob_jmp(None, "no_mut")
+        # The paper's data-dependent flip: if bit == 1 then 0 else 1.
+        b.load(bit, m, ADDR_NEWPOP)
+        b.beq(bit, 1, "flip_zero")
+        b.li(bit, 1)
+        b.jmp("write_bit")
+        b.label("flip_zero")
+        b.li(bit, 0)
+        b.label("write_bit")
+        b.store(bit, m, ADDR_NEWPOP)
+        b.label("no_mut")
+        b.add(m, m, 1)
+        b.blt(m, mend, "mut_loop")
+
+        b.add(child, child, 2)
+        b.blt(child, POP, "breed")
+
+        # ---- new population replaces the old --------------------------
+        b.li(j, 0)
+        b.label("swap_pop")
+        b.load(bit, j, ADDR_NEWPOP)
+        b.store(bit, j, ADDR_POP)
+        b.add(j, j, 1)
+        b.blt(j, POP * LEN, "swap_pop")
+
+        b.add(gen, gen, 1)
+        b.blt(gen, max_generations, "generation")
+
+        # Budget exhausted without a perfect match.
+        b.out(0)
+        b.out(gen)
+        b.out(best)
+        b.halt()
+
+        b.label("success")
+        b.out(1)
+        b.out(gen)
+        b.out(best)
+        b.halt()
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def reference(self, scale: float = 1.0, seed: int = 0) -> Dict[str, float]:
+        max_generations = self.generations(scale)
+        rng = Drand48(seed)
+        target = [target_bit(i) for i in range(LEN)]
+        pop: List[List[int]] = []
+        flat_bits = []
+        for _ in range(POP * LEN):
+            flat_bits.append(1 if rng.uniform() < 0.5 else 0)
+        for p in range(POP):
+            pop.append(flat_bits[p * LEN:(p + 1) * LEN])
+
+        def fitness(individual):
+            return sum(1 for a, t in zip(individual, target) if a == t)
+
+        last_best = 0
+        for gen in range(max_generations):
+            fits = [fitness(ind) for ind in pop]
+            best = max(fits)
+            last_best = best
+            if best == LEN:
+                return {"success": 1, "generations": gen, "best": best}
+            newpop: List[List[int]] = [None] * POP
+            for child in range(0, POP, 2):
+                parents = []
+                for _ in range(2):
+                    cand_a = int(rng.uniform() * POP)
+                    cand_b = int(rng.uniform() * POP)
+                    parents.append(
+                        cand_a if fits[cand_a] >= fits[cand_b] else cand_b
+                    )
+                par1, par2 = parents
+                if rng.uniform() < CROSSOVER_RATE:
+                    cut = int(rng.uniform() * LEN)
+                    first = pop[par1][:cut] + pop[par2][cut:]
+                    second = pop[par2][:cut] + pop[par1][cut:]
+                else:
+                    first = list(pop[par1])
+                    second = list(pop[par2])
+                pair = [first, second]
+                for which in range(2):
+                    for index in range(LEN):
+                        if rng.uniform() < MUTATION_RATE:
+                            pair[which][index] = 0 if pair[which][index] == 1 else 1
+                newpop[child] = pair[0]
+                newpop[child + 1] = pair[1]
+            pop = newpop
+        # Mirror the ISA program: `best` holds the fitness of the last
+        # *evaluated* population (the final breeding round is unscored).
+        return {
+            "success": 0,
+            "generations": max_generations,
+            "best": last_best,
+        }
+
+    def outputs(self, state) -> Dict[str, float]:
+        success, generations, best = state.output()[:3]
+        return {"success": success, "generations": generations, "best": best}
+
+    def accuracy_error(self, baseline, candidate) -> float:
+        """Per-seed success disagreement; the accuracy experiment
+        aggregates this into success rates with confidence intervals."""
+        return abs(candidate["success"] - baseline["success"])

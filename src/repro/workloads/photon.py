@@ -1,0 +1,200 @@
+"""Photon: stochastic light transport in a translucent slab (§II-A4).
+
+Photons propagate through a slab of thickness ``d``: each step samples a
+free path ``s = -log(u)/sigma_t``, moves the photon, and on an interaction
+either scatters it (new direction derived from the *same* uniform — a
+Category-2 use) or absorbs it into a depth histogram.  Low-weight photons
+play Russian roulette.
+
+Two marked probabilistic branches, matching Table II:
+
+* **scatter-vs-absorb** — ``u < albedo``, Category-2: the scattered
+  direction is ``2*(u/albedo) - 1``, so ``u`` is consumed after the
+  branch and must ride the PBS value swap;
+* **roulette** — ``v < survive_p`` against a constant.
+
+The boundary tests (``z`` outside the slab) depend on the accumulated
+position — the paper's "hard-to-split loop-carried dependence" that rules
+out CFD (Table I) — and stay regular branches.
+
+The step loop is written as a single flat main loop that re-initialises
+the next photon in place when the current one terminates.  A nested
+per-photon loop would end (and flush PBS state) every few steps, denying
+PBS its steady state; flattening is the natural optimisation a programmer
+applying PBS would perform and keeps one stable branch context.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..functional.rng import Drand48
+from ..isa import F, Program, ProgramBuilder, R
+from .base import PaperFacts, Workload
+
+DEFAULT_PHOTONS = 3_000
+
+SIGMA_T = 2.0
+ALBEDO = 0.8
+SLAB_DEPTH = 1.0
+WEIGHT_ABSORB = 0.85   # weight retained per scattering event
+ROULETTE_THRESHOLD = 0.2
+SURVIVE_P = 0.5
+BINS = 16
+
+
+class PhotonWorkload(Workload):
+    name = "photon"
+    description = "Monte Carlo photon transport through a translucent slab"
+    paper = PaperFacts(
+        prob_branches=2,
+        total_branches=104,
+        category=2,
+        simulated_instructions="6.2 Billion",
+    )
+
+    def photons(self, scale: float) -> int:
+        return max(1, int(DEFAULT_PHOTONS * scale))
+
+    def build(self, scale: float = 1.0) -> Program:
+        photons = self.photons(scale)
+        b = ProgramBuilder("photon", data_size=BINS)
+        remaining, bin_index = R(1), R(2)
+        w, z, muz, u, v, s, tmp, znew = (
+            F(1), F(2), F(3), F(4), F(5), F(6), F(7), F(8)
+        )
+        reflected, transmitted = F(9), F(10)
+
+        b.li(remaining, photons)
+        b.fli(reflected, 0.0)
+        b.fli(transmitted, 0.0)
+
+        b.label("init")
+        b.fli(w, 1.0)
+        b.fli(z, 0.0)
+        b.fli(muz, 1.0)
+
+        b.label("step")
+        # Free path length: s = -log(u0) / sigma_t.
+        b.rand(u)
+        b.flog(s, u)
+        b.fmul(s, s, -1.0 / SIGMA_T)
+        b.fmul(tmp, s, muz)
+        b.fadd(znew, z, tmp)
+        # Boundary tests: loop-carried, data-dependent — regular branches.
+        b.cmp("gt", znew, SLAB_DEPTH)
+        b.jt("transmit")
+        b.cmp("lt", znew, 0.0)
+        b.jt("reflect")
+        b.fmov(z, znew)
+        # Interaction: scatter (u < albedo) or absorb.  Category-2: the
+        # scattered direction reuses u after the branch.
+        b.rand(u)
+        b.prob_cmp("ge", u, ALBEDO)
+        b.prob_jmp(u, "absorb")
+        b.fmul(muz, u, 2.0 / ALBEDO)
+        b.fsub(muz, muz, 1.0)
+        b.fmul(w, w, WEIGHT_ABSORB)
+        # Russian roulette for low-weight photons (Category-1).
+        b.cmp("ge", w, ROULETTE_THRESHOLD)
+        b.jt("step")
+        b.rand(v)
+        b.prob_cmp("ge", v, SURVIVE_P)
+        b.prob_jmp(None, "kill")
+        b.fmul(w, w, 1.0 / SURVIVE_P)
+        b.jmp("step")
+
+        b.label("absorb")
+        # Histogram the absorption depth: bin = floor(z / d * BINS).
+        b.fmul(tmp, z, BINS / SLAB_DEPTH)
+        b.ftoi(bin_index, tmp)
+        b.imin(bin_index, bin_index, BINS - 1)
+        b.fload(tmp, bin_index)
+        b.fadd(tmp, tmp, w)
+        b.fstore(tmp, bin_index)
+        b.jmp("next")
+
+        b.label("transmit")
+        b.fadd(transmitted, transmitted, w)
+        b.jmp("next")
+
+        b.label("reflect")
+        b.fadd(reflected, reflected, w)
+        b.jmp("next")
+
+        b.label("kill")
+        b.jmp("next")
+
+        b.label("next")
+        b.sub(remaining, remaining, 1)
+        b.cmp("gt", remaining, 0)
+        b.jt("init")
+        b.out(reflected)
+        b.out(transmitted)
+        b.li(bin_index, 0)
+        b.label("dump")
+        b.fload(tmp, bin_index)
+        b.out(tmp, 1)
+        b.add(bin_index, bin_index, 1)
+        b.blt(bin_index, BINS, "dump")
+        b.halt()
+        return b.build()
+
+    def reference(self, scale: float = 1.0, seed: int = 0) -> Dict[str, float]:
+        photons = self.photons(scale)
+        rng = Drand48(seed)
+        bins = [0.0] * BINS
+        reflected = 0.0
+        transmitted = 0.0
+        for _ in range(photons):
+            w, z, muz = 1.0, 0.0, 1.0
+            while True:
+                s = -math.log(rng.uniform()) / SIGMA_T
+                znew = z + s * muz
+                if znew > SLAB_DEPTH:
+                    transmitted += w
+                    break
+                if znew < 0.0:
+                    reflected += w
+                    break
+                z = znew
+                u = rng.uniform()
+                if u >= ALBEDO:
+                    index = min(int(z / SLAB_DEPTH * BINS), BINS - 1)
+                    bins[index] += w
+                    break
+                muz = 2.0 * (u / ALBEDO) - 1.0
+                w *= WEIGHT_ABSORB
+                if w >= ROULETTE_THRESHOLD:
+                    continue
+                v = rng.uniform()
+                if v >= SURVIVE_P:
+                    break
+                w /= SURVIVE_P
+        return self._package(reflected, transmitted, bins)
+
+    def outputs(self, state) -> Dict[str, float]:
+        reflected, transmitted = state.output()[:2]
+        bins = list(state.output(1))
+        return self._package(reflected, transmitted, bins)
+
+    @staticmethod
+    def _package(reflected, transmitted, bins: List[float]) -> Dict[str, float]:
+        out = {"reflected": reflected, "transmitted": transmitted}
+        for index, value in enumerate(bins):
+            out[f"bin_{index}"] = value
+        return out
+
+    def accuracy_error(self, baseline, candidate) -> float:
+        """Average root-mean-square error over the absorption histogram,
+        normalised by the histogram mean (the paper compares output
+        images with average RMS error)."""
+        keys = [key for key in baseline if key.startswith("bin_")]
+        mean = sum(baseline[key] for key in keys) / len(keys)
+        if mean == 0:
+            return 0.0
+        squared = sum(
+            (candidate[key] - baseline[key]) ** 2 for key in keys
+        ) / len(keys)
+        return math.sqrt(squared) / mean

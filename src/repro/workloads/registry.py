@@ -1,0 +1,49 @@
+"""Workload registry: name -> Workload instance."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .bandit import BanditWorkload
+from .base import Workload
+from .dop import DopWorkload
+from .genetic import GeneticWorkload
+from .greeks import GreeksWorkload
+from .mc_integ import McIntegWorkload
+from .photon import PhotonWorkload
+from .pi import PiWorkload
+from .swaptions import SwaptionsWorkload
+
+#: Paper order (Table II).
+WORKLOAD_CLASSES = (
+    DopWorkload,
+    GreeksWorkload,
+    SwaptionsWorkload,
+    GeneticWorkload,
+    PhotonWorkload,
+    McIntegWorkload,
+    PiWorkload,
+    BanditWorkload,
+)
+
+_REGISTRY: Dict[str, Workload] = {
+    cls.name: cls() for cls in WORKLOAD_CLASSES
+}
+
+
+def workload_names() -> List[str]:
+    """All benchmark names in the paper's Table II order."""
+    return [cls.name for cls in WORKLOAD_CLASSES]
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
+        ) from None
+
+
+def all_workloads() -> List[Workload]:
+    return [get_workload(name) for name in workload_names()]

@@ -1,0 +1,86 @@
+"""Tests for the perceptron predictor."""
+
+import random
+
+import pytest
+
+from repro.branch import Perceptron
+
+
+def misprediction_rate(predictor, sequence, warmup=500):
+    mispredicts = 0
+    measured = 0
+    for step, (pc, taken) in enumerate(sequence):
+        prediction = predictor.predict(pc)
+        if step >= warmup:
+            measured += 1
+            if prediction != taken:
+                mispredicts += 1
+        predictor.update(pc, taken)
+    return mispredicts / measured
+
+
+class TestPerceptron:
+    def test_learns_biased_branch(self):
+        rng = random.Random(1)
+        sequence = [(8, rng.random() < 0.85) for _ in range(8000)]
+        rate = misprediction_rate(Perceptron(), sequence)
+        assert rate < 0.2
+
+    def test_learns_history_correlation(self):
+        rng = random.Random(2)
+        sequence = []
+        for _ in range(6000):
+            flip = rng.random() < 0.5
+            sequence.append((8, flip))
+            sequence.append((16, flip))  # linearly separable from history
+        rate = misprediction_rate(Perceptron(), sequence)
+        assert rate < 0.30  # only the 50/50 leader should miss
+
+    def test_learns_alternating_pattern(self):
+        sequence = [(8, step % 2 == 0) for step in range(4000)]
+        rate = misprediction_rate(Perceptron(), sequence)
+        assert rate < 0.02
+
+    def test_iid_floor(self):
+        rng = random.Random(3)
+        sequence = [(8, rng.random() < 0.7) for _ in range(10000)]
+        rate = misprediction_rate(Perceptron(), sequence)
+        assert 0.27 <= rate <= 0.36  # min(p, 1-p) floor, like the paper says
+
+    def test_weights_stay_clipped(self):
+        predictor = Perceptron(weight_bits=6)
+        for _ in range(5000):
+            predictor.predict(8)
+            predictor.update(8, True)
+        assert all(
+            -32 <= weight <= 31 for row in predictor.weights for weight in row
+        )
+
+    def test_threshold_formula(self):
+        assert Perceptron(history_length=24).threshold == int(1.93 * 24 + 14)
+
+    def test_storage_bits(self):
+        predictor = Perceptron(entries=128, history_length=24, weight_bits=8)
+        assert predictor.storage_bits() == 128 * 25 * 8 + 24
+
+    def test_insert_history_shifts_without_training(self):
+        predictor = Perceptron()
+        before = [row[:] for row in predictor.weights]
+        predictor.insert_history(8, True)
+        assert predictor.weights == before
+        assert predictor.history[0] == 1
+
+    def test_update_without_predict_is_safe(self):
+        Perceptron().update(8, True)
+
+    def test_reset(self):
+        predictor = Perceptron()
+        predictor.predict(8)
+        predictor.update(8, True)
+        predictor.reset()
+        assert all(w == 0 for row in predictor.weights for w in row)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Perceptron(entries=100)

@@ -1,0 +1,113 @@
+"""Tests for PBS context-switch save/restore (§V-C2) and CPI stacks."""
+
+import pytest
+
+from repro.core import PBSEngine
+from repro.functional.executor import ProbGroup
+from repro.branch import AlwaysNotTaken, PerfectPredictor
+from repro.functional.trace import TraceEvent
+from repro.isa import Op, OpClass
+from repro.pipeline import OoOCore, four_wide
+
+
+def group(value, pc=100, const=0.5):
+    return ProbGroup(pc, "lt", value < const, const, [40], [value])
+
+
+class TestContextSwitch:
+    def warm_engine(self):
+        engine = PBSEngine()
+        for step in range(10):
+            engine.transact(group(0.05 * (step + 1)))
+        return engine
+
+    def test_save_restore_resumes_without_bootstrap(self):
+        engine = self.warm_engine()
+        snapshot = engine.save_state()
+        engine.reset()
+        engine.restore_state(snapshot)
+        assert engine.transact(group(0.9)).mode == "hit"
+
+    def test_reset_without_restore_rebootstraps(self):
+        engine = self.warm_engine()
+        engine.save_state()
+        engine.reset()
+        assert engine.transact(group(0.9)).mode == "boot"
+
+    def test_restore_preserves_replay_order(self):
+        engine = PBSEngine()
+        values = [0.01 * (i + 1) for i in range(12)]
+        replayed = []
+        for index, value in enumerate(values):
+            if index == 6:
+                snapshot = engine.save_state()
+                engine.reset()
+                engine.restore_state(snapshot)
+            decision = engine.transact(group(value))
+            if decision.mode == "hit":
+                replayed.append(decision.swap_values[0])
+        # With depth 4 (+1 pre-loop instance handling not present here),
+        # the replay sequence is exactly the generated sequence shifted.
+        assert replayed == values[: len(replayed)]
+
+    def test_restore_preserves_blacklist(self):
+        engine = PBSEngine()
+        engine.transact(group(0.1))
+        engine.transact(ProbGroup(100, "lt", True, 0.7, [40], [0.1]))  # mismatch
+        snapshot = engine.save_state()
+        engine.reset()
+        engine.restore_state(snapshot)
+        assert engine.transact(group(0.2)).mode == "regular"
+
+    def test_restore_preserves_context_table(self):
+        engine = PBSEngine()
+        engine.observe_branch(pc=50, taken=True, target=10)
+        snapshot = engine.save_state()
+        engine.reset()
+        engine.restore_state(snapshot)
+        assert engine.context.current_context() != (-1, 0)
+
+
+class TestCpiStack:
+    def branch_event(self, taken=True):
+        return TraceEvent(
+            10, Op.BLT, OpClass.BRANCH, -1, (),
+            is_cond_branch=True, taken=taken, target=0, next_pc=0,
+        )
+
+    def alu_event(self, pc=0):
+        return TraceEvent(pc, Op.ADD, OpClass.IALU, 1, (), next_pc=pc + 1)
+
+    def test_branch_component_tracks_mispredictions(self):
+        core = OoOCore(four_wide(), AlwaysNotTaken())
+        for _ in range(500):
+            core.feed(self.branch_event(taken=True))  # always mispredicted
+            for pc in range(3):
+                core.feed(self.alu_event(pc))
+        stats = core.finalize()
+        stack = stats.cpi_stack(width=4)
+        assert stack["branch"] > 1.0
+        assert stack["branch"] > stack["other"]
+
+    def test_no_branch_component_without_mispredicts(self):
+        core = OoOCore(four_wide(), PerfectPredictor())
+        for _ in range(500):
+            core.feed(self.branch_event())
+            core.feed(self.alu_event())
+        stats = core.finalize()
+        assert stats.cpi_stack(width=4)["branch"] == 0.0
+
+    def test_components_sum_to_total_cpi(self):
+        core = OoOCore(four_wide(), AlwaysNotTaken())
+        for _ in range(300):
+            core.feed(self.branch_event(taken=True))
+            core.feed(self.alu_event())
+        stats = core.finalize()
+        stack = stats.cpi_stack(width=4)
+        total = stats.cycles / stats.instructions
+        assert sum(stack.values()) == pytest.approx(total, rel=0.02)
+
+    def test_empty_stack(self):
+        core = OoOCore(four_wide(), PerfectPredictor())
+        stats = core.finalize()
+        assert stats.cpi_stack() == {"base": 0.0, "branch": 0.0, "other": 0.0}

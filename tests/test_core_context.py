@@ -1,0 +1,165 @@
+"""Tests for the Context-Table (loop detection, termination, calls)."""
+
+from repro.core import NO_CONTEXT, ContextTable
+
+
+def make_table(flushes=None, **kwargs):
+    flushes = flushes if flushes is not None else []
+    return ContextTable(on_flush=flushes.append, **kwargs), flushes
+
+
+class TestLoopDetection:
+    def test_no_loop_initially(self):
+        table, _ = make_table()
+        assert table.current_context() == NO_CONTEXT
+
+    def test_taken_backward_branch_allocates_loop(self):
+        table, _ = make_table()
+        table.observe_branch(pc=50, taken=True, target=10)
+        slot, function_pc = table.current_context()
+        assert slot >= 0
+        assert function_pc == 0
+        assert table.loops_detected == 1
+
+    def test_forward_branch_ignored(self):
+        table, _ = make_table()
+        table.observe_branch(pc=10, taken=True, target=50)
+        assert table.current_context() == NO_CONTEXT
+
+    def test_not_taken_backward_branch_without_entry_ignored(self):
+        table, _ = make_table()
+        table.observe_branch(pc=50, taken=False, target=10)
+        assert table.current_context() == NO_CONTEXT
+
+    def test_last_pc_grows_with_larger_backward_branch(self):
+        table, _ = make_table()
+        table.observe_branch(pc=50, taken=True, target=10)
+        table.observe_branch(pc=60, taken=True, target=10)  # same loop
+        entry = table.slots[table.current_context()[0]]
+        assert entry.last_pc == 60
+        assert table.loops_detected == 1
+
+    def test_first_loop_flushes_no_loop_context(self):
+        table, flushes = make_table()
+        table.observe_branch(pc=50, taken=True, target=10)
+        assert flushes == [-1]
+
+
+class TestLoopTermination:
+    def test_not_taken_backward_at_last_pc_terminates(self):
+        table, flushes = make_table()
+        table.observe_branch(pc=50, taken=True, target=10)
+        slot = table.current_context()[0]
+        table.observe_branch(pc=50, taken=False, target=10)
+        assert table.current_context() == NO_CONTEXT
+        assert slot in flushes
+        assert table.loops_terminated == 1
+
+    def test_not_taken_before_last_pc_does_not_terminate(self):
+        table, _ = make_table()
+        table.observe_branch(pc=50, taken=True, target=10)
+        table.observe_branch(pc=60, taken=True, target=10)  # last_pc = 60
+        # An early-exit backward branch below last_pc (e.g. a continue).
+        table.observe_branch(pc=50, taken=False, target=10)
+        assert table.current_context() != NO_CONTEXT
+
+    def test_reexecution_is_a_new_context(self):
+        table, _ = make_table()
+        table.observe_branch(pc=50, taken=True, target=10)
+        first = table.slots[table.current_context()[0]].sequence
+        table.observe_branch(pc=50, taken=False, target=10)
+        table.observe_branch(pc=50, taken=True, target=10)
+        second = table.slots[table.current_context()[0]].sequence
+        assert second > first
+
+    def test_older_termination_erases_both(self):
+        table, flushes = make_table()
+        table.observe_branch(pc=90, taken=True, target=5)    # outer
+        table.observe_branch(pc=50, taken=True, target=30)   # inner
+        # Outer (older) terminates while inner entry still live.
+        table.observe_branch(pc=90, taken=False, target=5)
+        assert table.current_context() == NO_CONTEXT
+        assert table.loops_terminated == 2
+        assert len(flushes) >= 2
+
+
+class TestNestedLoops:
+    def test_inner_loop_becomes_active(self):
+        table, _ = make_table()
+        table.observe_branch(pc=90, taken=True, target=5)    # outer
+        outer_slot = table.current_context()[0]
+        table.observe_branch(pc=50, taken=True, target=30)   # inner
+        inner_slot = table.current_context()[0]
+        assert inner_slot != outer_slot
+
+    def test_inner_termination_restores_outer(self):
+        table, _ = make_table()
+        table.observe_branch(pc=90, taken=True, target=5)
+        outer_slot = table.current_context()[0]
+        table.observe_branch(pc=50, taken=True, target=30)
+        table.observe_branch(pc=50, taken=False, target=30)
+        assert table.current_context()[0] == outer_slot
+
+    def test_third_loop_evicts_oldest(self):
+        table, flushes = make_table(entries=2)
+        table.observe_branch(pc=90, taken=True, target=5)
+        oldest_slot = table.current_context()[0]
+        table.observe_branch(pc=50, taken=True, target=30)
+        table.observe_branch(pc=70, taken=True, target=60)
+        assert table.evictions == 1
+        assert oldest_slot in flushes
+
+
+class TestFunctionCalls:
+    def setup_loop(self):
+        table, flushes = make_table()
+        table.observe_branch(pc=90, taken=True, target=5)
+        return table, flushes
+
+    def test_call_within_loop_sets_function_pc(self):
+        table, _ = self.setup_loop()
+        table.observe_call(pc=42)
+        slot, function_pc = table.current_context()
+        assert function_pc == 42
+
+    def test_return_clears_function_pc(self):
+        table, _ = self.setup_loop()
+        table.observe_call(pc=42)
+        table.observe_return(pc=99)
+        assert table.current_context()[1] == 0
+
+    def test_depth_two_untracked(self):
+        table, _ = self.setup_loop()
+        table.observe_call(pc=42)
+        table.observe_call(pc=43)
+        assert table.current_context() is None
+
+    def test_depth_recovers_after_inner_return(self):
+        table, _ = self.setup_loop()
+        table.observe_call(pc=42)
+        table.observe_call(pc=43)
+        table.observe_return(pc=99)
+        assert table.current_context() == (table._active_slot(), 42)
+
+    def test_calls_without_loop_ignored(self):
+        table, _ = make_table()
+        table.observe_call(pc=42)
+        assert table.current_context() == NO_CONTEXT
+
+    def test_different_call_sites_distinct_contexts(self):
+        table, _ = self.setup_loop()
+        table.observe_call(pc=42)
+        first = table.current_context()
+        table.observe_return(pc=99)
+        table.observe_call(pc=77)
+        second = table.current_context()
+        assert first != second
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        table, flushes = make_table()
+        table.observe_branch(pc=90, taken=True, target=5)
+        table.reset()
+        assert table.current_context() == NO_CONTEXT
+        assert all(slot is None for slot in table.slots)

@@ -1,0 +1,131 @@
+"""Direct unit tests for the PBS hardware tables."""
+
+import pytest
+
+from repro.core import (
+    InFlightRecord,
+    ProbBTB,
+    ProbInFlightTable,
+    SwapTable,
+)
+
+KEY_A = (100, 0, 0)
+KEY_B = (200, 0, 0)
+KEY_C = (300, 1, 0)
+
+
+class TestProbBTB:
+    def test_lookup_miss(self):
+        assert ProbBTB(4).lookup(KEY_A) is None
+
+    def test_allocate_and_lookup(self):
+        btb = ProbBTB(4)
+        entry = btb.allocate(KEY_A, target=5, const_val=0.5, num_values=1)
+        assert btb.lookup(KEY_A) is entry
+        assert entry.const_val == 0.5
+        assert not entry.valid  # no record pulled yet
+
+    def test_entry_valid_once_record_present(self):
+        btb = ProbBTB(4)
+        entry = btb.allocate(KEY_A, 0, 0.5, 1)
+        entry.record = InFlightRecord(True, [0.3])
+        assert entry.valid
+
+    def test_capacity(self):
+        btb = ProbBTB(2)
+        assert btb.allocate(KEY_A, 0, 0.5, 1) is not None
+        assert btb.allocate(KEY_B, 0, 0.5, 1) is not None
+        assert btb.full
+        assert btb.allocate(KEY_C, 0, 0.5, 1) is None
+
+    def test_invalidate_frees_space(self):
+        btb = ProbBTB(1)
+        btb.allocate(KEY_A, 0, 0.5, 1)
+        btb.invalidate(KEY_A)
+        assert not btb.full
+        assert btb.lookup(KEY_A) is None
+
+    def test_invalidate_missing_key_is_noop(self):
+        ProbBTB(1).invalidate(KEY_A)  # must not raise
+
+    def test_flush_loop_slot(self):
+        btb = ProbBTB(4)
+        btb.allocate(KEY_A, 0, 0.5, 1)   # slot 0
+        btb.allocate(KEY_C, 0, 0.5, 1)   # slot 1
+        victims = btb.flush_loop_slot(0)
+        assert victims == [KEY_A]
+        assert btb.lookup(KEY_A) is None
+        assert btb.lookup(KEY_C) is not None
+
+    def test_evict_candidate_prefers_lru_outside_active_slot(self):
+        btb = ProbBTB(2)
+        btb.allocate(KEY_A, 0, 0.5, 1)
+        btb.allocate(KEY_C, 0, 0.5, 1)
+        btb.lookup(KEY_A)  # KEY_A becomes MRU
+        # Active slot 7: both entries are candidates, KEY_C is LRU.
+        assert btb.evict_candidate(active_slot=7) == KEY_C
+
+    def test_evict_candidate_never_picks_active_slot(self):
+        btb = ProbBTB(1)
+        btb.allocate(KEY_C, 0, 0.5, 1)  # slot 1
+        assert btb.evict_candidate(active_slot=1) is None
+        assert btb.evict_candidate(active_slot=0) == KEY_C
+
+
+class TestSwapTable:
+    def test_zero_allocation_always_succeeds(self):
+        table = SwapTable(0)
+        assert table.allocate(KEY_A, 0)
+
+    def test_capacity_enforced(self):
+        table = SwapTable(2)
+        assert table.allocate(KEY_A, 2)
+        assert not table.allocate(KEY_B, 1)
+
+    def test_release_returns_capacity(self):
+        table = SwapTable(2)
+        table.allocate(KEY_A, 2)
+        table.release(KEY_A)
+        assert table.free == 2
+        assert table.allocate(KEY_B, 2)
+
+    def test_release_unknown_key_is_noop(self):
+        SwapTable(2).release(KEY_A)
+
+    def test_used_accounting(self):
+        table = SwapTable(4)
+        table.allocate(KEY_A, 1)
+        table.allocate(KEY_B, 2)
+        assert table.used == 3
+        assert table.free == 1
+
+
+class TestProbInFlightTable:
+    def test_pull_requires_depth_records(self):
+        table = ProbInFlightTable(depth=3)
+        table.push(KEY_A, InFlightRecord(True, [0.1]))
+        table.push(KEY_A, InFlightRecord(False, [0.2]))
+        assert table.pull_if_ready(KEY_A) is None
+        table.push(KEY_A, InFlightRecord(True, [0.3]))
+        record = table.pull_if_ready(KEY_A)
+        assert record is not None
+        assert record.values == [0.1]  # FIFO: oldest first
+
+    def test_queues_are_per_key(self):
+        table = ProbInFlightTable(depth=1)
+        table.push(KEY_A, InFlightRecord(True, [0.1]))
+        assert table.pull_if_ready(KEY_B) is None
+        assert table.pull_if_ready(KEY_A).values == [0.1]
+
+    def test_occupancy(self):
+        table = ProbInFlightTable(depth=4)
+        assert table.occupancy(KEY_A) == 0
+        table.push(KEY_A, InFlightRecord(True, [0.1]))
+        assert table.occupancy(KEY_A) == 1
+
+    def test_release_clears_queue(self):
+        table = ProbInFlightTable(depth=1)
+        table.push(KEY_A, InFlightRecord(True, [0.1]))
+        table.release(KEY_A)
+        assert table.occupancy(KEY_A) == 0
+        assert table.pull_if_ready(KEY_A) is None

@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.experiments import bar_chart, chart_for, figure6
+from repro.experiments.common import ExperimentResult
+
+
+class TestBarChart:
+    def test_renders_all_groups_and_series(self):
+        text = bar_chart(
+            ["a", "b"],
+            {"x": [1.0, 2.0], "y": [3.0, 4.0]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert text.count("|") == 4
+        assert "4.00" in text
+
+    def test_bar_length_proportional(self):
+        text = bar_chart(["a", "b"], {"x": [1.0, 2.0]}, width=10)
+        lines = [l for l in text.splitlines() if "#" in l]
+        short, long = (l.count("#") for l in lines)
+        assert long == 2 * short
+
+    def test_negative_values_marked(self):
+        text = bar_chart(["a"], {"x": [-2.0]})
+        assert "-" in text
+
+    def test_empty_series(self):
+        assert bar_chart([], {}, title="t") == "t"
+
+    def test_zero_values_no_division_error(self):
+        text = bar_chart(["a"], {"x": [0.0]})
+        assert "0.00" in text
+
+    def test_unit_suffix(self):
+        text = bar_chart(["a"], {"x": [5.0]}, unit="%")
+        assert "5.00%" in text
+
+
+class TestChartFor:
+    def test_charts_experiment_columns(self):
+        result = ExperimentResult("t", columns=["benchmark", "v"])
+        result.add_row(benchmark="pi", v=1.5)
+        result.add_row(benchmark="dop", v=3.0)
+        text = chart_for(result, ["v"])
+        assert "pi" in text and "dop" in text
+
+    def test_skips_non_numeric_rows(self):
+        result = ExperimentResult("t", columns=["benchmark", "v"])
+        result.add_row(benchmark="pi", v=1.5)
+        result.add_row(benchmark="average", v="")  # summary row
+        text = chart_for(result, ["v"])
+        assert "average" not in text
+
+    def test_real_experiment(self):
+        result = figure6.run(scale=0.05, names=["pi"])
+        text = chart_for(
+            result, ["tournament_reduction_%", "tagescl_reduction_%"]
+        )
+        assert "pi" in text

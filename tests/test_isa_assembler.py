@@ -1,0 +1,115 @@
+"""Tests for the text assembler and disassembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, Op, assemble, disassemble
+from repro.functional import Executor
+
+PI_ASM = """
+; estimate pi by monte carlo
+    li   r1, 0          ; hits
+    li   r2, 1000       ; iterations
+    li   r3, 0          ; i
+loop:
+    rand f1
+    rand f2
+    fmul f3, f1, f1
+    fmul f4, f2, f2
+    fadd f5, f3, f4
+    prob_cmp ge, f5, 1.0
+    prob_jmp -, miss
+    add  r1, r1, 1
+miss:
+    add  r3, r3, 1
+    blt  r3, r2, loop
+    out  r1
+    halt
+"""
+
+
+class TestAssemble:
+    def test_assembles_pi(self):
+        program = assemble(PI_ASM, "pi")
+        assert program.name == "pi"
+        assert program.instructions[-1].op is Op.HALT
+        assert len(program.probabilistic_branch_pcs()) == 1
+
+    def test_labels_resolve(self):
+        program = assemble(PI_ASM)
+        blt = [i for i in program.instructions if i.op is Op.BLT][0]
+        assert blt.target == program.labels["loop"]
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("; nothing\n\n   # more nothing\n halt\n")
+        assert len(program) == 1
+
+    def test_float_and_int_immediates(self):
+        program = assemble("fli f1, 0.25\nli r1, -3\nhalt\n")
+        assert program.instructions[0].srcs[0] == 0.25
+        assert program.instructions[1].srcs[0] == -3
+
+    def test_memory_operations(self):
+        program = assemble(
+            "li r1, 0\nstore r2, r1, 4\nload r3, r1, 4\nhalt\n", data_size=8
+        )
+        assert program.instructions[1].offset == 4
+        assert program.instructions[2].offset == 4
+
+    def test_executes_same_as_builder(self):
+        program = assemble(PI_ASM)
+        state = Executor(program, seed=7).run()
+        hits = state.output()[0]
+        assert 0 < hits < 1000
+        assert abs(4 * hits / 1000 - 3.14159) < 0.3
+
+
+class TestAssembleErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError) as err:
+            assemble("frobnicate r1\nhalt\n")
+        assert err.value.line_number == 1
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2\nhalt\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2, r99\nhalt\n")
+
+    def test_bad_cmp_operator(self):
+        with pytest.raises(AssemblerError):
+            assemble("cmp almost, r1, r2\nhalt\n")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere\nhalt\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nnop\nx:\nhalt\n")
+
+    def test_prob_jmp_with_immediate_first_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("prob_cmp lt, f1, 0.5\nprob_jmp 3, end\nend:\nhalt\n")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassemble_preserves_behaviour(self):
+        program = assemble(PI_ASM, "pi")
+        text = disassemble(program)
+        again = assemble(text, "pi-rt")
+        first = Executor(program, seed=11).run().output()[0]
+        second = Executor(again, seed=11).run().output()[0]
+        assert first == second
+
+    def test_disassemble_mentions_prob_instructions(self):
+        program = assemble(PI_ASM)
+        text = disassemble(program)
+        assert "prob_cmp ge" in text
+        assert "prob_jmp -" in text
+
+    def test_roundtrip_instruction_count(self):
+        program = assemble(PI_ASM)
+        again = assemble(disassemble(program))
+        assert len(again) == len(program)

@@ -1,0 +1,155 @@
+"""Tests for the ProgramBuilder DSL and program metadata."""
+
+import pytest
+
+from repro.isa import BuildError, F, Op, ProgramBuilder, R
+from repro.isa.validation import ValidationError
+
+
+def minimal_loop(iterations=3):
+    b = ProgramBuilder("loop")
+    b.li(R(1), 0)
+    b.li(R(2), iterations)
+    b.label("top")
+    b.add(R(1), R(1), 1)
+    b.blt(R(1), R(2), "top")
+    b.halt()
+    return b.build()
+
+
+class TestBuilderBasics:
+    def test_build_resolves_labels(self):
+        program = minimal_loop()
+        branch = program.instructions[3]
+        assert branch.op is Op.BLT
+        assert branch.target == program.labels["top"] == 2
+
+    def test_forward_label_reference(self):
+        b = ProgramBuilder("fwd")
+        b.beq(R(1), R(2), "end")
+        b.add(R(1), R(1), 1)
+        b.label("end")
+        b.halt()
+        program = b.build()
+        assert program.instructions[0].target == 2
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder("bad")
+        b.jmp("nowhere")
+        b.halt()
+        with pytest.raises(BuildError):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder("dup")
+        b.label("x")
+        b.nop()
+        with pytest.raises(BuildError):
+            b.label("x")
+
+    def test_pc_tracks_emission(self):
+        b = ProgramBuilder("pc")
+        assert b.pc() == 0
+        b.nop()
+        assert b.pc() == 1
+
+    def test_unknown_cmp_operator_raises(self):
+        b = ProgramBuilder("cmp")
+        with pytest.raises(BuildError):
+            b.cmp("approx", R(1), R(2))
+        with pytest.raises(BuildError):
+            b.prob_cmp("weird", F(1), 0.5)
+
+
+class TestProbabilisticInstructions:
+    def test_prob_cmp_reg_is_source_and_dest(self):
+        b = ProgramBuilder("prob")
+        b.prob_cmp("lt", F(1), 0.5)
+        b.prob_jmp(None, "end")
+        b.label("end")
+        b.halt()
+        program = b.build()
+        cmp_inst = program.instructions[0]
+        assert cmp_inst.dest is F(1)
+        assert cmp_inst.srcs[0] is F(1)
+
+    def test_category1_prob_jmp_has_no_value_register(self):
+        b = ProgramBuilder("cat1")
+        b.prob_cmp("lt", F(1), 0.5)
+        b.prob_jmp(None, "end")
+        b.label("end")
+        b.halt()
+        program = b.build()
+        assert program.instructions[1].dest is None
+
+    def test_intermediate_prob_jmp_has_no_target(self):
+        b = ProgramBuilder("multi")
+        b.prob_cmp("lt", F(1), 0.5)
+        b.prob_jmp(F(2), None)
+        b.prob_jmp(F(3), "end")
+        b.label("end")
+        b.halt()
+        program = b.build()
+        assert program.instructions[1].target is None
+        assert program.instructions[2].target == 3
+
+    def test_probabilistic_branch_pcs(self):
+        b = ProgramBuilder("pcs")
+        b.prob_cmp("lt", F(1), 0.5)
+        b.prob_jmp(F(2), None)
+        b.prob_jmp(None, "end")
+        b.label("end")
+        b.halt()
+        program = b.build()
+        # Only the final, jumping PROB_JMP counts as a static prob branch.
+        assert program.probabilistic_branch_pcs() == [2]
+
+
+class TestValidationViaBuild:
+    def test_prob_jmp_without_cmp_rejected(self):
+        b = ProgramBuilder("orphan")
+        b.label("end")
+        b.prob_jmp(None, "end")
+        b.halt()
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_instruction_between_prob_group_rejected(self):
+        b = ProgramBuilder("split")
+        b.prob_cmp("lt", F(1), 0.5)
+        b.add(R(1), R(1), 1)
+        b.prob_jmp(None, "end")
+        b.label("end")
+        b.halt()
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_missing_halt_rejected(self):
+        b = ProgramBuilder("nohalt")
+        b.nop()
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_float_dest_for_int_op_rejected(self):
+        b = ProgramBuilder("type")
+        b.add(F(1), R(1), R(2))
+        b.halt()
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_empty_program_rejected(self):
+        b = ProgramBuilder("empty")
+        with pytest.raises(ValidationError):
+            b.build()
+
+
+class TestProgramQueries:
+    def test_static_branch_summary(self):
+        program = minimal_loop()
+        summary = program.static_branch_summary()
+        assert summary == {"total_branches": 1, "probabilistic_branches": 0}
+
+    def test_label_of(self):
+        program = minimal_loop()
+        assert program.label_of(2) == "top"
+        assert program.label_of(0) is None

@@ -1,0 +1,161 @@
+"""Tests for the binary instruction encoding (§V-A2)."""
+
+import pytest
+
+from repro.core import PBSEngine
+from repro.functional import Executor
+from repro.isa import F, Op, ProgramBuilder, R
+from repro.isa.encoding import (
+    WORD_BITS,
+    EncodingError,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.workloads import all_workloads
+
+
+def outputs_of(program, seed=5, pbs=None):
+    executor = Executor(program, seed=seed, pbs=pbs)
+    state = executor.run()
+    return dict(state.outputs)
+
+
+class TestWordFormat:
+    def test_words_fit_64_bits(self):
+        for workload in all_workloads():
+            encoded = encode_program(workload.build(scale=0.02))
+            assert all(0 <= word < (1 << WORD_BITS) for word in encoded.words)
+
+    def test_prob_bit_set_only_on_probabilistic_instructions(self):
+        program = all_workloads()[0].build(scale=0.02)  # dop
+        encoded = encode_program(program)
+        for pc, word in enumerate(encoded.words):
+            prob_bit = (word >> 7) & 1
+            assert prob_bit == int(program.instructions[pc].is_probabilistic)
+
+    def test_prob_cmp_shares_cmp_opcode(self):
+        b = ProgramBuilder("share")
+        b.label("x")
+        b.prob_cmp("lt", F(1), 0.5)
+        b.prob_jmp(None, "x")
+        b.cmp("lt", F(1), 0.5)
+        b.jt("x")
+        b.halt()
+        encoded = encode_program(b.build())
+        assert (encoded.words[0] & 0x7F) == (encoded.words[2] & 0x7F)
+        assert (encoded.words[1] & 0x7F) == (encoded.words[3] & 0x7F)
+
+    def test_code_size_accounting(self):
+        program = all_workloads()[6].build(scale=0.02)  # pi
+        encoded = encode_program(program)
+        assert encoded.code_bytes == 8 * len(program)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+    def test_all_workloads_roundtrip_execution(self, workload):
+        program = workload.build(scale=0.02)
+        decoded = decode_program(encode_program(program))
+        assert outputs_of(program) == outputs_of(decoded)
+
+    def test_roundtrip_preserves_probabilistic_marking(self):
+        program = all_workloads()[6].build(scale=0.02)
+        decoded = decode_program(encode_program(program))
+        assert (
+            decoded.probabilistic_branch_pcs()
+            == program.probabilistic_branch_pcs()
+        )
+
+    def test_roundtrip_under_pbs(self):
+        workload = all_workloads()[6]
+        program = workload.build(scale=0.05)
+        decoded = decode_program(encode_program(program))
+        original = outputs_of(program, pbs=PBSEngine())
+        redecoded = outputs_of(decoded, pbs=PBSEngine())
+        assert original == redecoded
+
+
+class TestBackwardCompatibility:
+    """The paper's §V-A2 guarantee: machines without PBS support execute
+    marked binaries by treating probabilistic branches as regular ones."""
+
+    def test_legacy_decode_produces_regular_branches(self):
+        program = all_workloads()[6].build(scale=0.02)
+        legacy = decode_program(encode_program(program), pbs_aware=False)
+        assert legacy.probabilistic_branch_pcs() == []
+        assert any(inst.op is Op.CMP for inst in legacy.instructions)
+        assert any(inst.op is Op.JT for inst in legacy.instructions)
+
+    @pytest.mark.parametrize(
+        "workload", all_workloads(), ids=lambda w: w.name
+    )
+    def test_legacy_execution_identical_to_original(self, workload):
+        program = workload.build(scale=0.02)
+        legacy = decode_program(encode_program(program), pbs_aware=False)
+        assert outputs_of(program) == outputs_of(legacy)
+
+    def test_pbs_aware_decode_recovers_pbs_behaviour(self):
+        workload = all_workloads()[6]
+        program = workload.build(scale=0.05)
+        aware = decode_program(encode_program(program), pbs_aware=True)
+        engine = PBSEngine()
+        Executor(aware, seed=5, pbs=engine).run()
+        assert engine.stats.hits > 0
+
+
+class TestLiteralPool:
+    def test_float_immediates_pooled(self):
+        b = ProgramBuilder("pool")
+        b.fli(F(1), 3.14159)
+        b.fadd(F(2), F(1), 2.71828)
+        b.halt()
+        encoded = encode_program(b.build())
+        assert 3.14159 in encoded.pool
+        assert 2.71828 in encoded.pool
+
+    def test_control_op_with_immediate_uses_field_reuse(self):
+        b = ProgramBuilder("fused-imm")
+        b.li(R(1), 0)
+        b.label("top")
+        b.add(R(1), R(1), 1)
+        b.blt(R(1), 100, "top")   # fused branch against an immediate
+        b.halt()
+        program = b.build()
+        decoded = decode_program(encode_program(program))
+        assert outputs_of(program) == outputs_of(decoded)
+        blt = next(i for i in decoded.instructions if i.op is Op.BLT)
+        assert blt.srcs[1] == 100
+        assert blt.target == program.labels["top"]
+
+    def test_select_with_two_immediates(self):
+        b = ProgramBuilder("select")
+        b.li(R(1), 1)
+        b.select(R(2), R(1), 10, 20)
+        b.out(R(2))
+        b.halt()
+        program = b.build()
+        decoded = decode_program(encode_program(program))
+        assert outputs_of(program) == outputs_of(decoded)
+
+    def test_memory_offset_roundtrip(self):
+        b = ProgramBuilder("mem", data_size=32)
+        b.li(R(1), 2)
+        b.store(R(1), R(1), 17)
+        b.load(R(2), R(1), 17)
+        b.out(R(2))
+        b.halt()
+        program = b.build()
+        decoded = decode_program(encode_program(program))
+        assert outputs_of(program) == outputs_of(decoded)
+
+
+class TestEncodingErrors:
+    def test_oversized_offset_rejected(self):
+        b = ProgramBuilder("big", data_size=1)
+        b.li(R(1), 0)
+        b.load(R(2), R(1), 1 << 23)
+        b.halt()
+        program = b.build()
+        with pytest.raises(EncodingError):
+            encode_program(program)

@@ -1,0 +1,62 @@
+"""Tests for repro.isa.registers."""
+
+import pytest
+
+from repro.isa.registers import COND, F, R, Reg, parse_reg
+
+
+class TestRegInterning:
+    def test_same_index_is_same_object(self):
+        assert R(3) is R(3)
+        assert F(7) is F(7)
+
+    def test_int_and_float_files_are_disjoint(self):
+        assert R(5) is not F(5)
+        assert R(5).num != F(5).num
+
+    def test_names(self):
+        assert R(0).name == "r0"
+        assert R(31).name == "r31"
+        assert F(0).name == "f0"
+        assert F(31).name == "f31"
+        assert COND.name == "cond"
+
+    def test_kinds(self):
+        assert R(1).is_int and not R(1).is_float
+        assert F(1).is_float and not F(1).is_int
+        assert COND.kind == "c"
+
+
+class TestRegBounds:
+    @pytest.mark.parametrize("index", [-1, 32, 100])
+    def test_int_register_out_of_range(self, index):
+        with pytest.raises(ValueError):
+            R(index)
+
+    @pytest.mark.parametrize("index", [-1, 32])
+    def test_float_register_out_of_range(self, index):
+        with pytest.raises(ValueError):
+            F(index)
+
+    def test_raw_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            Reg(65)
+
+
+class TestParseReg:
+    def test_parses_int_registers(self):
+        assert parse_reg("r12") is R(12)
+
+    def test_parses_float_registers(self):
+        assert parse_reg("f3") is F(3)
+
+    def test_parses_cond(self):
+        assert parse_reg("cond") is COND
+
+    def test_parse_is_case_insensitive(self):
+        assert parse_reg("R4") is R(4)
+
+    @pytest.mark.parametrize("text", ["x1", "r", "f", "r-1", "12", "rr1"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_reg(text)

@@ -1,0 +1,92 @@
+"""Tests for the cache model and memory hierarchy."""
+
+import pytest
+
+from repro.memory import Cache, MemoryHierarchy
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = Cache("t", 1024, line_bytes=64, ways=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(8) is True  # same line
+
+    def test_different_lines_miss(self):
+        cache = Cache("t", 1024, line_bytes=64, ways=2)
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_lru_eviction(self):
+        # 2 ways, 8 sets, 64B lines: addresses 0, 1024, 2048 map to set 0.
+        cache = Cache("t", 1024, line_bytes=64, ways=2)
+        cache.access(0)
+        cache.access(1024)
+        cache.access(2048)   # evicts line 0
+        assert cache.access(0) is False
+        assert cache.access(2048) is True
+
+    def test_lru_order_updated_on_hit(self):
+        cache = Cache("t", 1024, line_bytes=64, ways=2)
+        cache.access(0)
+        cache.access(1024)
+        cache.access(0)      # line 0 becomes MRU
+        cache.access(2048)   # evicts 1024, not 0
+        assert cache.access(0) is True
+        assert cache.access(1024) is False
+
+    def test_stats(self):
+        cache = Cache("t", 1024)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.miss_rate == 0.5
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("t", 1000, line_bytes=64, ways=3)
+
+    def test_reset(self):
+        cache = Cache("t", 1024)
+        cache.access(0)
+        cache.reset()
+        assert cache.accesses == 0
+        assert cache.access(0) is False
+
+
+class TestHierarchy:
+    def test_latencies_additive(self):
+        hierarchy = MemoryHierarchy(
+            l1=Cache("l1", 1024, ways=2, latency=4),
+            l2=Cache("l2", 8192, ways=2, latency=12),
+            memory_latency=100,
+        )
+        first = hierarchy.access(0)    # cold: misses both
+        second = hierarchy.access(0)   # L1 hit
+        assert first == 4 + 12 + 100
+        assert second == 4
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = MemoryHierarchy(
+            l1=Cache("l1", 256, line_bytes=64, ways=1, latency=4),
+            l2=Cache("l2", 8192, line_bytes=64, ways=4, latency=12),
+            memory_latency=100,
+        )
+        hierarchy.access(0)
+        # L1 direct-mapped with 4 sets: word 32 (byte 256) conflicts.
+        hierarchy.access(32)
+        latency = hierarchy.access(0)  # L1 miss, L2 hit
+        assert latency == 4 + 12
+
+    def test_default_sizes_match_paper(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.l1.size_bytes == 32 * 1024
+        assert hierarchy.l2.size_bytes == 2 * 1024 * 1024
+
+    def test_stats_dict(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0)
+        stats = hierarchy.stats()
+        assert stats["l1_accesses"] == 1
+        assert stats["l2_accesses"] == 1

@@ -1,0 +1,100 @@
+"""Property-based round-trip tests: builder -> disassembler -> assembler.
+
+Hypothesis generates random straight-line-plus-loop programs; we assert
+that disassembling and reassembling preserves execution behaviour exactly
+(registers, outputs, dynamic instruction count).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional import Executor
+from repro.isa import F, ProgramBuilder, R, assemble, disassemble
+
+# Generators for small random arithmetic programs.
+_int_ops = st.sampled_from(["add", "sub", "mul", "and_", "or_", "xor",
+                            "slt", "imin", "imax"])
+_float_ops = st.sampled_from(["fadd", "fsub", "fmul", "fmin", "fmax"])
+_cmp_ops = st.sampled_from(["lt", "le", "gt", "ge", "eq", "ne"])
+
+
+@st.composite
+def random_program(draw):
+    builder = ProgramBuilder("generated")
+    # Seed a few registers with immediates.
+    for index in range(1, 5):
+        builder.li(R(index), draw(st.integers(-100, 100)))
+        builder.fli(F(index), draw(st.floats(-10, 10, allow_nan=False)))
+    # Random arithmetic body.
+    for _ in range(draw(st.integers(1, 12))):
+        if draw(st.booleans()):
+            op = draw(_int_ops)
+            dest = R(draw(st.integers(1, 6)))
+            a = R(draw(st.integers(1, 4)))
+            b = draw(
+                st.one_of(
+                    st.integers(-50, 50).filter(lambda v: v != 0),
+                    st.builds(R, st.integers(1, 4)),
+                )
+            )
+            getattr(builder, op)(dest, a, b)
+        else:
+            op = draw(_float_ops)
+            dest = F(draw(st.integers(1, 6)))
+            a = F(draw(st.integers(1, 4)))
+            b = F(draw(st.integers(1, 4)))
+            getattr(builder, op)(dest, a, b)
+    # A bounded loop with a probabilistic branch.
+    iterations = draw(st.integers(1, 8))
+    threshold = draw(st.floats(0.1, 0.9, allow_nan=False))
+    cmp_op = draw(_cmp_ops)
+    builder.li(R(10), 0)
+    builder.li(R(11), 0)
+    builder.label("loop")
+    builder.rand(F(10))
+    builder.prob_cmp(cmp_op, F(10), threshold)
+    builder.prob_jmp(None, "skip")
+    builder.add(R(11), R(11), 1)
+    builder.label("skip")
+    builder.add(R(10), R(10), 1)
+    builder.blt(R(10), iterations, "loop")
+    for index in range(1, 7):
+        builder.out(R(index))
+        builder.out(F(index))
+    builder.out(R(11))
+    builder.halt()
+    return builder.build()
+
+
+def run_outputs(program, seed=5):
+    executor = Executor(program, seed=seed)
+    state = executor.run()
+    return state.output(), executor.retired
+
+
+class TestRoundTripProperty:
+    @given(random_program())
+    @settings(max_examples=40, deadline=None)
+    def test_disassemble_assemble_preserves_execution(self, program):
+        original_outputs, original_retired = run_outputs(program)
+        text = disassemble(program)
+        rebuilt = assemble(text, "rebuilt")
+        rebuilt_outputs, rebuilt_retired = run_outputs(rebuilt)
+        assert rebuilt_outputs == original_outputs
+        assert rebuilt_retired == original_retired
+
+    @given(random_program())
+    @settings(max_examples=20, deadline=None)
+    def test_double_roundtrip_is_stable(self, program):
+        once = disassemble(assemble(disassemble(program), "a"))
+        twice = disassemble(assemble(once, "b"))
+        # After one round trip the text representation is a fixed point
+        # (modulo the program-name comment line).
+        assert once.splitlines()[1:] == twice.splitlines()[1:]
+
+    @given(random_program(), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_execution_is_seed_deterministic(self, program, seed):
+        first, _ = run_outputs(program, seed=seed)
+        second, _ = run_outputs(program, seed=seed)
+        assert first == second
