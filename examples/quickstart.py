@@ -1,77 +1,107 @@
 #!/usr/bin/env python3
 """Quickstart: mark a probabilistic branch and watch PBS eliminate its
-mispredictions.
+mispredictions — through the unified `repro.sim` API.
 
 Builds the paper's motivating example — a Monte Carlo loop whose branch
-direction depends on freshly drawn random values — in the repro ISA, runs
-it through the out-of-order timing model with the 8 KB TAGE-SC-L
-predictor, and compares the baseline against Probabilistic Branch Support.
+direction depends on freshly drawn random values — registers it as a
+workload plugin, and drives it with a `Session`: the benchmark is
+interpreted once per configuration, fanning the trace out to the 8 KB
+TAGE-SC-L timing core, with and without Probabilistic Branch Support.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.branch import TageSCL
-from repro.core import PBSEngine, hardware_cost
-from repro.functional import Executor
+from repro.core import hardware_cost
 from repro.isa import F, ProgramBuilder, R
-from repro.pipeline import OoOCore, four_wide
+from repro.sim import Session, register_workload
+from repro.workloads import PaperFacts, Workload
+
+ITERATIONS = 20_000
 
 
-def build_program(iterations: int = 20_000):
-    """count how often rand() falls below a threshold (Category-1)."""
-    b = ProgramBuilder("quickstart")
-    taken_count, i = R(1), R(2)
-    value = F(1)
+@register_workload
+class QuickstartWorkload(Workload):
+    """Count how often rand() falls below a threshold (Category-1)."""
 
-    b.li(taken_count, 0)
-    b.li(i, 0)
-    b.label("loop")
-    b.rand(value)
-    # The two instructions the paper adds to the ISA: a probabilistic
-    # compare-and-jump pair.  On hardware without PBS they behave exactly
-    # like cmp + jcc (backward compatible).
-    b.prob_cmp("ge", value, 0.3)
-    b.prob_jmp(None, "skip")
-    b.add(taken_count, taken_count, 1)
-    b.label("skip")
-    b.add(i, i, 1)
-    b.blt(i, iterations, "loop")
-    b.out(taken_count)
-    b.halt()
-    return b.build()
+    name = "quickstart"
+    description = "threshold counting loop from the paper's Section II"
+    paper = PaperFacts(1, 3, 1, "n/a (tutorial kernel)")
 
+    def build(self, scale: float = 1.0):
+        iterations = max(1, int(ITERATIONS * scale))
+        b = ProgramBuilder("quickstart")
+        taken_count, i = R(1), R(2)
+        value = F(1)
 
-def simulate(program, pbs_engine=None, seed=42):
-    core = OoOCore(four_wide(), TageSCL())
-    executor = Executor(program, seed=seed, pbs=pbs_engine)
-    state = executor.run(sink=core.feed)
-    return core.finalize(), state.output()[0]
+        b.li(taken_count, 0)
+        b.li(i, 0)
+        b.label("loop")
+        b.rand(value)
+        # The two instructions the paper adds to the ISA: a probabilistic
+        # compare-and-jump pair.  On hardware without PBS they behave
+        # exactly like cmp + jcc (backward compatible).
+        b.prob_cmp("ge", value, 0.3)
+        b.prob_jmp(None, "skip")
+        b.add(taken_count, taken_count, 1)
+        b.label("skip")
+        b.add(i, i, 1)
+        b.blt(i, iterations, "loop")
+        b.out(taken_count)
+        b.halt()
+        return b.build()
+
+    def reference(self, scale: float = 1.0, seed: int = 0):
+        from repro.functional.rng import Drand48
+
+        rng = Drand48(seed)
+        iterations = max(1, int(ITERATIONS * scale))
+        taken = sum(1 for _ in range(iterations) if not (rng.next() >= 0.3))
+        return {"taken_count": float(taken)}
+
+    def outputs(self, state):
+        return {"taken_count": float(state.output()[0])}
+
+    def accuracy_error(self, baseline, candidate):
+        expected = baseline["taken_count"]
+        if expected == 0:
+            return abs(candidate["taken_count"])
+        return abs(candidate["taken_count"] - expected) / expected
 
 
 def main():
-    program = build_program()
+    def timed(pbs: bool):
+        session = Session("quickstart", scale=1.0, seed=42)
+        session.predictors("tage-sc-l").timing()
+        if pbs:
+            session.pbs()
+        return session.run()
 
-    baseline, base_count = simulate(program)
-    engine = PBSEngine()
-    with_pbs, pbs_count = simulate(program, pbs_engine=engine)
+    baseline = timed(pbs=False)
+    with_pbs = timed(pbs=True)
+    base_core = baseline.core("tage-sc-l")
+    pbs_core = with_pbs.core("tage-sc-l")
 
-    print("=== Probabilistic Branch Support quickstart ===\n")
+    print("=== Probabilistic Branch Support quickstart (repro.sim) ===\n")
     print(f"{'':22s}{'baseline':>12s}{'with PBS':>12s}")
-    print(f"{'IPC':22s}{baseline.ipc:>12.3f}{with_pbs.ipc:>12.3f}")
-    print(f"{'MPKI':22s}{baseline.mpki:>12.3f}{with_pbs.mpki:>12.3f}")
+    print(f"{'IPC':22s}{base_core.ipc:>12.3f}{pbs_core.ipc:>12.3f}")
+    print(f"{'MPKI':22s}{base_core.mpki:>12.3f}{pbs_core.mpki:>12.3f}")
     print(f"{'branch mispredicts':22s}"
-          f"{baseline.branches.mispredicts:>12d}"
-          f"{with_pbs.branches.mispredicts:>12d}")
+          f"{base_core.branches.mispredicts:>12d}"
+          f"{pbs_core.branches.mispredicts:>12d}")
     print(f"{'PBS steady-state hits':22s}{'-':>12s}"
-          f"{with_pbs.branches.pbs_hits:>12d}")
-    speedup = baseline.cycles / with_pbs.cycles
+          f"{pbs_core.branches.pbs_hits:>12d}")
+    speedup = base_core.cycles / pbs_core.cycles
     print(f"\nspeedup: {speedup:.2f}x "
           f"(mispredict penalty eliminated for the probabilistic branch)")
+    base_count = int(baseline.outputs["taken_count"])
+    pbs_count = int(with_pbs.outputs["taken_count"])
     print(f"algorithm output: {base_count} vs {pbs_count} "
-          f"({abs(base_count - pbs_count)} off out of 20000 — the bootstrap "
-          "replay effect, Section IV of the paper)")
-    print(f"\nPBS engine: {engine.stats.hits} hits, "
-          f"{engine.stats.bootstraps} bootstrap executions")
+          f"({abs(base_count - pbs_count)} off out of {ITERATIONS} — the "
+          "bootstrap replay effect, Section IV of the paper)")
+    print(f"\nPBS engine: {with_pbs.pbs_stats.hits} hits, "
+          f"{with_pbs.pbs_stats.bootstraps} bootstrap executions")
+    print("\nstructured result (RunResult.to_json):")
+    print("  " + with_pbs.to_json()[:72] + "...")
     print("\nPBS hardware budget (paper Section V-C2):")
     print(hardware_cost().render())
 

@@ -1,9 +1,27 @@
 """repro: a reproduction of "Architectural Support for Probabilistic
 Branches" (Adileh, Lilja, Eeckhout — MICRO 2018).
 
+The canonical entry point is :mod:`repro.sim` — the unified simulation
+API.  A fluent :class:`~repro.sim.Session` interprets a benchmark once
+and fans the trace out to any number of predictors, timing cores and the
+PBS engine, returning a structured, JSON-serializable
+:class:`~repro.sim.RunResult`; a :class:`~repro.sim.Sweep` expands
+parameter grids over worker processes with an on-disk result cache; and
+decorator registries (:func:`~repro.sim.register_workload`,
+:func:`~repro.sim.register_predictor`) let new scenarios plug themselves
+in::
+
+    from repro.sim import Session
+
+    result = Session("pi").scale(0.5).seed(1).predictors("tournament").pbs().run()
+    print(result.predictor("tournament").mpki)
+
+See ``docs/api.md`` for the full quickstart.
+
 The package implements the paper's Probabilistic Branch Support (PBS)
 mechanism and every substrate its evaluation depends on:
 
+* :mod:`repro.sim` — the unified Session/Sweep simulation API.
 * :mod:`repro.isa` — a RISC-like ISA with ``PROB_CMP``/``PROB_JMP``.
 * :mod:`repro.functional` — a functional (committed-path) simulator.
 * :mod:`repro.branch` — tournament and TAGE-SC-L branch predictors.
@@ -14,7 +32,8 @@ mechanism and every substrate its evaluation depends on:
 * :mod:`repro.workloads` — the paper's eight probabilistic benchmarks.
 * :mod:`repro.transforms` — predication and control-flow decoupling.
 * :mod:`repro.stats` — randomness battery and confidence intervals.
-* :mod:`repro.experiments` — the paper's tables and figures.
+* :mod:`repro.experiments` — the paper's tables and figures, as thin
+  declarative sweeps over :mod:`repro.sim` (CLI: ``pbs-experiments``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

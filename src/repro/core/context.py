@@ -28,6 +28,7 @@ loop body) or 1 (inside a function called from the loop body).
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, List, Optional, Tuple
 
 #: A context key: (loop slot index or -1, function call PC or 0).
@@ -184,11 +185,18 @@ class ContextTable:
         return (slot, function_pc)
 
     def snapshot(self) -> dict:
-        """Capture the loop/call context for a context switch."""
-        return {"slots": list(self.slots), "sequence": self._sequence}
+        """Capture the loop/call context for a context switch.
+
+        Slot entries are deep-copied so the snapshot stays valid while
+        the live table keeps tracking loops.
+        """
+        return {
+            "slots": copy.deepcopy(self.slots),
+            "sequence": self._sequence,
+        }
 
     def restore(self, snapshot: dict) -> None:
-        self.slots = list(snapshot["slots"])
+        self.slots = copy.deepcopy(snapshot["slots"])
         self._sequence = snapshot["sequence"]
 
     def reset(self) -> None:

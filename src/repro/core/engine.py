@@ -24,6 +24,7 @@ flow.  The engine decides, per instance, between three modes:
 
 from __future__ import annotations
 
+import copy
 from typing import Optional, Set
 
 from ..functional.executor import ProbDecision, ProbGroup
@@ -205,26 +206,29 @@ class PBSEngine:
     # incurring an additional initialization phase."
     # ------------------------------------------------------------------
     def save_state(self) -> dict:
-        """Hand off the architectural PBS state (the 193 bytes).
+        """Capture the architectural PBS state (the 193 bytes).
 
-        The tables are transferred by ownership: after ``save_state`` the
-        caller typically calls :meth:`reset` (the other process gets a
-        cold PBS unit) and later :meth:`restore_state` to resume without
-        a fresh bootstrap phase.
+        The snapshot is a deep copy: the engine may keep executing (and
+        mutating its tables) after the save without corrupting it, just
+        as saved-to-memory hardware state is immune to later execution.
         """
         return {
-            "btb": self.btb,
-            "swap": self.swap,
-            "inflight": self.inflight,
+            "btb": copy.deepcopy(self.btb),
+            "swap": copy.deepcopy(self.swap),
+            "inflight": copy.deepcopy(self.inflight),
             "context": self.context.snapshot(),
             "blacklist": set(self._blacklist),
         }
 
     def restore_state(self, snapshot: dict) -> None:
-        """Resume from a snapshot taken by :meth:`save_state`."""
-        self.btb = snapshot["btb"]
-        self.swap = snapshot["swap"]
-        self.inflight = snapshot["inflight"]
+        """Resume from a snapshot taken by :meth:`save_state`.
+
+        The snapshot itself stays intact (tables are copied in), so one
+        snapshot can seed several engines or be restored repeatedly.
+        """
+        self.btb = copy.deepcopy(snapshot["btb"])
+        self.swap = copy.deepcopy(snapshot["swap"])
+        self.inflight = copy.deepcopy(snapshot["inflight"])
         self.context.restore(snapshot["context"])
         self._blacklist = set(snapshot["blacklist"])
 

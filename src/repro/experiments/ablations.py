@@ -8,6 +8,10 @@ Four design-choice sweeps DESIGN.md calls out:
 * **inflight depth** — bootstrap length vs hit rate and accuracy;
 * **capacity** — Prob-BTB entries vs hit rate on the 3-branch Greeks;
 * **context support** — §V-C1's context tracking on vs off.
+
+Every simulation goes through :class:`repro.sim.Session`; only the
+predication/CFD program variants still drive the Executor directly
+(they run transformed programs, not registered workloads).
 """
 
 from __future__ import annotations
@@ -15,11 +19,11 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..branch import Tournament
-from ..core import PBSConfig, PBSEngine
+from ..core import PBSConfig
 from ..functional import Executor
 from ..pipeline import OoOCore, four_wide
+from ..sim import Session, get_workload
 from ..transforms import build_cfd, build_predicated, cfd_applicable
-from ..workloads import get_workload
 from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult
 
 TECH_TITLE = "Ablation: PBS vs CFD vs predication (cycles, 4-wide, tournament)"
@@ -27,6 +31,21 @@ DEPTH_TITLE = "Ablation: PBS in-flight depth"
 CAPACITY_TITLE = "Ablation: Prob-BTB capacity (greeks: 3 prob branches)"
 CONTEXT_TITLE = "Ablation: context support on/off"
 HISTORY_TITLE = "Ablation: PBS history insertion on/off"
+
+#: The predictor-quality spectrum of :func:`predictor_sweep`, worst to
+#: best (all resolved through the repro.sim predictor registry).
+PREDICTOR_SPECTRUM = (
+    "bimodal", "gshare", "local", "perceptron", "tournament", "tage-sc-l",
+)
+
+
+def _timed_cycles(name: str, scale: float, seed: int, pbs: bool = False) -> int:
+    """Cycle count of one benchmark on the 4-wide tournament core."""
+    session = Session(name, scale=scale, seed=seed)
+    session.predictors("tournament").timing(four_wide)
+    if pbs:
+        session.pbs()
+    return session.run().core("tournament").cycles
 
 
 def technique_comparison(
@@ -46,11 +65,7 @@ def technique_comparison(
         ),
     )
     for name in names or cfd_applicable():
-        workload = get_workload(name)
-
-        base_core = OoOCore(four_wide(), Tournament())
-        workload.run(scale=scale, seed=seed, sink=base_core.feed)
-        baseline = base_core.finalize().cycles
+        baseline = _timed_cycles(name, scale, seed)
 
         try:
             program = build_predicated(name, scale=scale)
@@ -67,9 +82,7 @@ def technique_comparison(
         Executor(cfd.program, seed=seed).run(sink=cfd_core.feed)
         cfd_cycles = cfd_core.finalize().cycles
 
-        pbs_core = OoOCore(four_wide(), Tournament())
-        workload.run(scale=scale, seed=seed, pbs=PBSEngine(), sink=pbs_core.feed)
-        pbs_cycles = pbs_core.finalize().cycles
+        pbs_cycles = _timed_cycles(name, scale, seed, pbs=True)
 
         result.add_row(
             benchmark=name,
@@ -97,15 +110,17 @@ def inflight_depth_sweep(
         ),
     )
     workload = get_workload(name)
-    baseline = workload.run(scale=scale, seed=seed).outputs
+    baseline = Session(name, scale=scale, seed=seed).run().outputs
     for depth in depths:
-        run = workload.run_with_pbs(
-            scale=scale, seed=seed, config=PBSConfig(inflight_depth=depth)
+        run = (
+            Session(name, scale=scale, seed=seed)
+            .pbs(PBSConfig(inflight_depth=depth))
+            .run()
         )
         result.add_row(
             depth=depth,
-            hit_rate=run.pbs_engine.stats.hit_rate,
-            bootstraps=run.pbs_engine.stats.bootstraps,
+            hit_rate=run.pbs_stats.hit_rate,
+            bootstraps=run.pbs_stats.bootstraps,
             accuracy_error=workload.accuracy_error(baseline, run.outputs),
         )
     result.add_note(f"benchmark: {name}")
@@ -126,11 +141,11 @@ def capacity_sweep(
             "(§V-C2); fewer entries force fallback to regular prediction"
         ),
     )
-    workload = get_workload(name)
     for capacity in capacities:
         config = PBSConfig(num_branches=capacity, swap_entries=max(capacity, 1))
-        run = workload.run_with_pbs(scale=scale, seed=seed, config=config)
-        stats = run.pbs_engine.stats
+        stats = (
+            Session(name, scale=scale, seed=seed).pbs(config).run().pbs_stats
+        )
         result.add_row(
             prob_btb_entries=capacity,
             hit_rate=stats.hit_rate,
@@ -157,18 +172,21 @@ def context_support(
         ),
     )
     for name in names:
-        workload = get_workload(name)
-        with_ctx = workload.run_with_pbs(
-            scale=scale, seed=seed, config=PBSConfig(context_support=True)
+        with_ctx = (
+            Session(name, scale=scale, seed=seed)
+            .pbs(PBSConfig(context_support=True))
+            .run()
         )
-        without_ctx = workload.run_with_pbs(
-            scale=scale, seed=seed, config=PBSConfig(context_support=False)
+        without_ctx = (
+            Session(name, scale=scale, seed=seed)
+            .pbs(PBSConfig(context_support=False))
+            .run()
         )
         result.add_row(
             benchmark=name,
-            hit_rate_with=with_ctx.pbs_engine.stats.hit_rate,
-            hit_rate_without=without_ctx.pbs_engine.stats.hit_rate,
-            flushes_with=with_ctx.pbs_engine.stats.loop_flushes,
+            hit_rate_with=with_ctx.pbs_stats.hit_rate,
+            hit_rate_without=without_ctx.pbs_stats.hit_rate,
+            flushes_with=with_ctx.pbs_stats.loop_flushes,
         )
     return result
 
@@ -185,19 +203,6 @@ def predictor_sweep(
     *relative* value is orthogonal to predictor quality: no amount of
     prediction hardware reaches the entropy floor PBS removes.
     """
-    from ..branch import (
-        Bimodal, GShare, Perceptron, PredictorHarness, TageSCL, Tournament,
-        TwoLevelLocal,
-    )
-
-    factories = {
-        "bimodal": Bimodal,
-        "gshare": GShare,
-        "local": TwoLevelLocal,
-        "perceptron": Perceptron,
-        "tournament": Tournament,
-        "tage-sc-l": TageSCL,
-    }
     result = ExperimentResult(
         "Ablation: predictor sweep (MPKI with/without PBS)",
         columns=["predictor", "mpki_base", "mpki_pbs", "reduction_%"],
@@ -206,14 +211,22 @@ def predictor_sweep(
             "trend); PBS removes them regardless of baseline quality"
         ),
     )
-    workload = get_workload(name)
-    for label, factory in factories.items():
-        base = PredictorHarness(factory())
-        workload.run(scale=scale, seed=seed, sink=base)
-        pbs = PredictorHarness(factory())
-        workload.run(scale=scale, seed=seed, pbs=PBSEngine(), sink=pbs)
-        base_mpki = base.stats.mpki
-        pbs_mpki = pbs.stats.mpki
+    # One base pass and one PBS pass, each fanning the trace out to all
+    # six predictors at once (harnesses are independent consumers).
+    base = (
+        Session(name, scale=scale, seed=seed)
+        .predictors(*PREDICTOR_SPECTRUM)
+        .run()
+    )
+    pbs = (
+        Session(name, scale=scale, seed=seed)
+        .predictors(*PREDICTOR_SPECTRUM)
+        .pbs()
+        .run()
+    )
+    for label in PREDICTOR_SPECTRUM:
+        base_mpki = base.predictor(label).mpki
+        pbs_mpki = pbs.predictor(label).mpki
         result.add_row(
             predictor=label,
             mpki_base=base_mpki,
@@ -234,8 +247,6 @@ def history_insertion(
     shifted into the predictor's global history for free.  Without it,
     regular branches that correlate with a probabilistic branch lose
     their history signal and PBS's MPKI win shrinks or inverts."""
-    from ..branch import PredictorHarness, TageSCL
-
     result = ExperimentResult(
         HISTORY_TITLE,
         columns=[
@@ -249,18 +260,23 @@ def history_insertion(
         ),
     )
     for name in names:
-        workload = get_workload(name)
-        base = PredictorHarness(TageSCL())
-        workload.run(scale=scale, seed=seed, sink=base)
-        with_insert = PredictorHarness(TageSCL(), pbs_inserts_history=True)
-        workload.run(scale=scale, seed=seed, pbs=PBSEngine(), sink=with_insert)
-        without_insert = PredictorHarness(TageSCL(), pbs_inserts_history=False)
-        workload.run(scale=scale, seed=seed, pbs=PBSEngine(), sink=without_insert)
+        base = (
+            Session(name, scale=scale, seed=seed)
+            .predictors("tage-sc-l")
+            .run()
+        )
+        pbs = (
+            Session(name, scale=scale, seed=seed)
+            .predictor("tage-sc-l", label="with", pbs_inserts_history=True)
+            .predictor("tage-sc-l", label="without", pbs_inserts_history=False)
+            .pbs()
+            .run()
+        )
         result.add_row(
             benchmark=name,
-            base_mpki=base.stats.mpki,
-            pbs_mpki_with_insert=with_insert.stats.mpki,
-            pbs_mpki_without_insert=without_insert.stats.mpki,
+            base_mpki=base.predictor("tage-sc-l").mpki,
+            pbs_mpki_with_insert=pbs.predictor("with").mpki,
+            pbs_mpki_without_insert=pbs.predictor("without").mpki,
         )
     return result
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..sim import Session, get_workload, workload_names
 from ..stats import proportion_interval
-from ..workloads import get_workload, workload_names
 from .common import DEFAULT_SCALE, ExperimentResult
 
 TITLE = "Section VII-D: output accuracy under PBS"
@@ -45,15 +45,15 @@ def run(
         errors = []
         noise_floor = []
         for seed in seeds:
-            baseline = workload.run(scale=scale, seed=seed).outputs
-            candidate = workload.run_with_pbs(scale=scale, seed=seed).outputs
+            baseline = Session(name, scale=scale, seed=seed).run().outputs
+            candidate = Session(name, scale=scale, seed=seed).pbs().run().outputs
             errors.append(workload.accuracy_error(baseline, candidate))
             # The inherent Monte Carlo variation at this scale: the same
             # benchmark run with an unrelated seed.  PBS reorders the
             # random stream, so its deviation is acceptable when it is
             # comparable to this seed-to-seed noise (the paper's
             # "falls within acceptable bounds").
-            other = workload.run(scale=scale, seed=seed + 7919).outputs
+            other = Session(name, scale=scale, seed=seed + 7919).run().outputs
             noise_floor.append(workload.accuracy_error(baseline, other))
         mean_error = sum(errors) / len(errors)
         mean_noise = sum(noise_floor) / len(noise_floor)
@@ -75,12 +75,13 @@ def _genetic_row(result, workload, scale, seeds) -> None:
     """Genetic is judged like the paper: success-rate CIs must overlap."""
     base_successes = 0
     pbs_successes = 0
+    name = workload.name
     for seed in seeds:
         base_successes += int(
-            workload.run(scale=scale, seed=seed).outputs["success"]
+            Session(name, scale=scale, seed=seed).run().outputs["success"]
         )
         pbs_successes += int(
-            workload.run_with_pbs(scale=scale, seed=seed).outputs["success"]
+            Session(name, scale=scale, seed=seed).pbs().run().outputs["success"]
         )
     base_interval = proportion_interval(base_successes, len(seeds))
     pbs_interval = proportion_interval(pbs_successes, len(seeds))

@@ -1,42 +1,55 @@
 """Shared infrastructure for the paper's experiments.
 
-Every experiment module exposes ``run(scale=..., ...) -> ExperimentResult``
-returning a renderable table, plus module-level constants naming the paper
-artefact it reproduces.  The helpers here fan one functional execution out
-to several trace consumers (MPKI harnesses, timing cores) so each
-benchmark is interpreted once per PBS mode rather than once per
-configuration.
+Every experiment module exposes ``run(scale=..., seed=..., ...) ->
+ExperimentResult`` returning a renderable table, plus module-level
+constants naming the paper artefact it reproduces.  Simulation itself
+goes through :mod:`repro.sim` — a :class:`~repro.sim.Session` interprets
+each benchmark once and fans the trace out to all consumers; the
+experiments are thin, declarative sweeps over it.
+
+The old helpers (:func:`mpki_pair`, :func:`timed_matrix`,
+:func:`run_workload`, :func:`predictor_factories`) remain as deprecated
+wrappers over the Session API for external callers.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from ..branch import PredictorHarness, TageSCL, Tournament
-from ..core import PBSConfig, PBSEngine
-from ..pipeline import CoreConfig, OoOCore
-from ..workloads import get_workload
+from ..sim import DEFAULT_SCALE, DEFAULT_SEED, FanOut, Session, baseline_predictors
+from ..sim.registry import get_workload, predictor_factory
 
-#: Default evaluation scale: large enough for stable branch-predictor
-#: steady state, small enough for pure-Python simulation.
-DEFAULT_SCALE = 0.5
-DEFAULT_SEED = 1
+__all__ = [
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "ExperimentResult",
+    "MultiSink",
+    "geometric_mean",
+    "mpki_pair",
+    "predictor_factories",
+    "run_workload",
+    "timed_matrix",
+]
+
+#: Legacy alias — the fan-out sink now lives in :mod:`repro.sim`.
+MultiSink = FanOut
 
 
 def predictor_factories() -> Dict[str, Callable[[], object]]:
-    """The paper's two baseline predictors (Section VI-B)."""
-    return {"tournament": Tournament, "tage-sc-l": TageSCL}
+    """The paper's two baseline predictors (Section VI-B).
 
-
-class MultiSink:
-    """Fans one trace event stream out to several consumers."""
-
-    def __init__(self, sinks: Sequence[Callable]):
-        self.sinks = list(sinks)
-
-    def __call__(self, event) -> None:
-        for sink in self.sinks:
-            sink(event)
+    .. deprecated:: use the :mod:`repro.sim` predictor registry
+       (:func:`repro.sim.baseline_predictors` /
+       :func:`repro.sim.predictor_factory`).
+    """
+    warnings.warn(
+        "predictor_factories is deprecated; use the repro.sim predictor "
+        "registry instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return {name: predictor_factory(name) for name in baseline_predictors()}
 
 
 def run_workload(
@@ -44,14 +57,22 @@ def run_workload(
     scale: float,
     seed: int,
     consumers: Sequence[Callable],
-    pbs: Optional[PBSEngine] = None,
+    pbs=None,
     record_consumed: bool = False,
 ):
-    """Execute benchmark ``name`` once, feeding all ``consumers``."""
+    """Execute benchmark ``name`` once, feeding all ``consumers``.
+
+    .. deprecated:: use :class:`repro.sim.Session` directly.
+    """
+    warnings.warn(
+        "run_workload is deprecated; use repro.sim.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     workload = get_workload(name)
     sink = None
     if consumers:
-        sink = consumers[0] if len(consumers) == 1 else MultiSink(consumers)
+        sink = consumers[0] if len(consumers) == 1 else FanOut(consumers)
     return workload.run(
         scale=scale,
         seed=seed,
@@ -65,20 +86,25 @@ def mpki_pair(
     name: str,
     scale: float,
     seed: int,
-    pbs_config: Optional[PBSConfig] = None,
-) -> Dict[str, Dict[str, PredictorHarness]]:
-    """Baseline and PBS MPKI for both predictors, two interpreter passes."""
-    results: Dict[str, Dict[str, PredictorHarness]] = {}
+    pbs_config=None,
+):
+    """Baseline and PBS MPKI for both predictors, two interpreter passes.
+
+    .. deprecated:: use :class:`repro.sim.Session` directly.
+    """
+    warnings.warn(
+        "mpki_pair is deprecated; use repro.sim.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    results = {}
     for mode in ("base", "pbs"):
-        harnesses = {
-            pname: PredictorHarness(factory())
-            for pname, factory in predictor_factories().items()
-        }
-        engine = None
+        session = Session(name, scale=scale, seed=seed)
+        session.predictors(*baseline_predictors())
         if mode == "pbs":
-            engine = PBSEngine(pbs_config if pbs_config else PBSConfig())
-        run_workload(name, scale, seed, list(harnesses.values()), pbs=engine)
-        results[mode] = harnesses
+            session.pbs(pbs_config if pbs_config is not None else True)
+        session.run()
+        results[mode] = dict(session.harnesses)
     return results
 
 
@@ -86,28 +112,30 @@ def timed_matrix(
     name: str,
     scale: float,
     seed: int,
-    core_config_factory: Callable[[], CoreConfig],
-    pbs_config: Optional[PBSConfig] = None,
-) -> Dict[str, OoOCore]:
+    core_config_factory,
+    pbs_config=None,
+):
     """IPC for the paper's four configurations on one core design.
 
     Returns cores keyed ``tournament``, ``tage-sc-l``, ``tournament+pbs``,
     ``tage-sc-l+pbs`` — the exact bar groups of Figures 7 and 8.
+
+    .. deprecated:: use :class:`repro.sim.Session` with ``.timing()``.
     """
-    cores: Dict[str, OoOCore] = {}
+    warnings.warn(
+        "timed_matrix is deprecated; use repro.sim.Session.timing instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    cores = {}
     for mode in ("base", "pbs"):
-        mode_cores = {
-            pname: OoOCore(core_config_factory(), factory())
-            for pname, factory in predictor_factories().items()
-        }
-        engine = None
+        session = Session(name, scale=scale, seed=seed)
+        session.predictors(*baseline_predictors())
+        session.timing(core_config_factory)
         if mode == "pbs":
-            engine = PBSEngine(pbs_config if pbs_config else PBSConfig())
-        run_workload(
-            name, scale, seed, [c.feed for c in mode_cores.values()], pbs=engine
-        )
-        for pname, core in mode_cores.items():
-            core.finalize()
+            session.pbs(pbs_config if pbs_config is not None else True)
+        session.run()
+        for pname, core in session.cores.items():
             key = pname if mode == "base" else f"{pname}+pbs"
             cores[key] = core
     return cores
@@ -134,6 +162,16 @@ class ExperimentResult:
 
     def column(self, name: str) -> List:
         return [row.get(name) for row in self.rows]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the CLI's ``--json`` output)."""
+        return {
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
     def render(self) -> str:
         def fmt(value) -> str:

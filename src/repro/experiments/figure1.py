@@ -10,9 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..branch import PredictorHarness, TageSCL, Tournament
-from ..workloads import workload_names
-from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult, run_workload
+from ..sim import Sweep, workload_names
+from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult
 
 TITLE = "Figure 1: probabilistic vs regular branch breakdown"
 PAPER_CLAIM = (
@@ -27,6 +26,8 @@ def run(
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
     names: Optional[Sequence[str]] = None,
+    processes: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         TITLE,
@@ -38,26 +39,31 @@ def run(
         ],
         paper_claim=PAPER_CLAIM,
     )
-    for name in names or workload_names():
-        tournament = PredictorHarness(Tournament())
-        tagescl = PredictorHarness(TageSCL())
-        run_workload(name, scale, seed, [tournament, tagescl])
-
-        stats = tournament.stats
+    names = list(names or workload_names())
+    runs = Sweep(
+        workloads=names,
+        scales=(scale,),
+        seeds=(seed,),
+        modes=("base",),
+        cache_dir=cache_dir,
+    ).run(processes=processes)
+    for name in names:
+        stats = runs.get(workload=name).predictor("tournament")
+        tagescl = runs.get(workload=name).predictor("tage-sc-l")
         total_branches = stats.regular_branches + stats.prob_branches
         branch_share = 100.0 * stats.prob_branches / total_branches
 
-        def miss_share(harness) -> float:
-            misses = harness.stats.mispredicts
+        def miss_share(metrics) -> float:
+            misses = metrics.mispredicts
             if misses == 0:
                 return 0.0
-            return 100.0 * harness.stats.prob_mispredicts / misses
+            return 100.0 * metrics.prob_mispredicts / misses
 
         result.add_row(
             benchmark=name,
             **{
                 "prob_branch_share_%": branch_share,
-                "tournament_miss_share_%": miss_share(tournament),
+                "tournament_miss_share_%": miss_share(stats),
                 "tagescl_miss_share_%": miss_share(tagescl),
             },
         )

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..workloads import workload_names
-from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult, mpki_pair
+from ..sim import Sweep, workload_names
+from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult
 
 TITLE = "Figure 6: MPKI reduction through PBS"
 PAPER_CLAIM = (
@@ -24,6 +24,8 @@ def run(
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
     names: Optional[Sequence[str]] = None,
+    processes: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         TITLE,
@@ -38,16 +40,24 @@ def run(
         ],
         paper_claim=PAPER_CLAIM,
     )
+    names = list(names or workload_names())
+    runs = Sweep(
+        workloads=names,
+        scales=(scale,),
+        seeds=(seed,),
+        cache_dir=cache_dir,
+    ).run(processes=processes)
     reductions = {"tournament": [], "tage-sc-l": []}
-    for name in names or workload_names():
-        pair = mpki_pair(name, scale, seed)
+    for name in names:
+        base_run = runs.get(workload=name, mode="base")
+        pbs_run = runs.get(workload=name, mode="pbs")
         row = {"benchmark": name}
         for pname, column in (
             ("tournament", "tournament"),
             ("tage-sc-l", "tagescl"),
         ):
-            base = pair["base"][pname].stats.mpki
-            pbs = pair["pbs"][pname].stats.mpki
+            base = base_run.predictor(pname).mpki
+            pbs = pbs_run.predictor(pname).mpki
             reduction = 100.0 * (base - pbs) / base if base > 0 else 0.0
             reductions[pname].append(reduction)
             row[f"{column}_mpki"] = base

@@ -11,13 +11,12 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from ..pipeline import CoreConfig, four_wide
-from ..workloads import workload_names
+from ..sim import Sweep, workload_names
 from .common import (
     DEFAULT_SCALE,
     DEFAULT_SEED,
     ExperimentResult,
     geometric_mean,
-    timed_matrix,
 )
 
 TITLE = "Figure 7: normalized IPC, 4-wide out-of-order core"
@@ -36,6 +35,8 @@ def run(
     core_config_factory: Callable[[], CoreConfig] = four_wide,
     title: str = TITLE,
     paper_claim: str = PAPER_CLAIM,
+    processes: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         title,
@@ -43,13 +44,25 @@ def run(
         + ["norm_tage-sc-l", "norm_tournament+pbs", "norm_tage-sc-l+pbs"],
         paper_claim=paper_claim,
     )
+    names = list(names or workload_names())
+    runs = Sweep(
+        workloads=names,
+        scales=(scale,),
+        seeds=(seed,),
+        timing=core_config_factory,
+        cache_dir=cache_dir,
+    ).run(processes=processes)
     normalized = {key: [] for key in CONFIG_KEYS}
-    for name in names or workload_names():
-        cores = timed_matrix(name, scale, seed, core_config_factory)
-        baseline_ipc = cores["tournament"].stats.ipc
+    for name in names:
+        ipcs = {}
+        for mode, suffix in (("base", ""), ("pbs", "+pbs")):
+            run_result = runs.get(workload=name, mode=mode)
+            for pname in ("tournament", "tage-sc-l"):
+                ipcs[pname + suffix] = run_result.core(pname).ipc
+        baseline_ipc = ipcs["tournament"]
         row = {"benchmark": name}
         for key in CONFIG_KEYS:
-            ipc = cores[key].stats.ipc
+            ipc = ipcs[key]
             row[f"ipc_{key}"] = ipc
             normalized[key].append(ipc / baseline_ipc if baseline_ipc else 0.0)
         row["norm_tage-sc-l"] = normalized["tage-sc-l"][-1]

@@ -24,6 +24,8 @@ def run(
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
     names: Optional[Sequence[str]] = None,
+    processes: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     return figure7.run(
         scale=scale,
@@ -32,6 +34,8 @@ def run(
         core_config_factory=eight_wide,
         title=TITLE,
         paper_claim=PAPER_CLAIM,
+        processes=processes,
+        cache_dir=cache_dir,
     )
 
 

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..branch import PredictorHarness, TageSCL, Tournament
-from ..workloads import workload_names
-from .common import DEFAULT_SCALE, ExperimentResult, run_workload
+from ..sim import Session, workload_names
+from .common import DEFAULT_SCALE, ExperimentResult
 
 TITLE = "Figure 9: regular-branch MPKI increase from prob-branch interference"
 PAPER_CLAIM = (
@@ -43,28 +42,29 @@ def run(
         columns.append("tagescl_increase_%")
     result = ExperimentResult(TITLE, columns=columns, paper_claim=PAPER_CLAIM)
 
-    factories = {"tournament": Tournament}
+    predictors = {"tournament": "tournament"}
     if include_tagescl:
-        factories["tagescl"] = TageSCL
+        predictors["tagescl"] = "tage-sc-l"
 
     for name in names or workload_names():
-        increases = {pname: [] for pname in factories}
+        increases = {pname: [] for pname in predictors}
         for seed in seeds:
-            harnesses = []
-            for pname, factory in factories.items():
-                shared = PredictorHarness(factory())
-                filtered = PredictorHarness(factory(), filter_probabilistic=True)
-                harnesses.append((pname, shared, filtered))
-            run_workload(
-                name,
-                scale,
-                seed,
-                [h for _, shared, filtered in harnesses for h in (shared, filtered)],
-            )
-            for pname, shared, filtered in harnesses:
-                base = filtered.stats.regular_mpki
-                polluted = shared.stats.regular_mpki
-                if filtered.stats.regular_mispredicts >= MIN_BASE_MISSES:
+            # One interpretation feeds all four harnesses: the shared and
+            # the probabilistic-filtered variant of each predictor.
+            session = Session(name, scale=scale, seed=seed)
+            for pname, registry_name in predictors.items():
+                session.predictor(registry_name, label=pname)
+                session.predictor(
+                    registry_name,
+                    label=f"{pname}:filtered",
+                    filter_probabilistic=True,
+                )
+            run = session.run()
+            for pname in predictors:
+                filtered = run.predictor(f"{pname}:filtered")
+                base = filtered.regular_mpki
+                polluted = run.predictor(pname).regular_mpki
+                if filtered.regular_mispredicts >= MIN_BASE_MISSES:
                     increases[pname].append(100.0 * (polluted - base) / base)
                 else:
                     increases[pname].append(0.0)

@@ -1,18 +1,25 @@
-"""Command-line entry point: regenerate any of the paper's artefacts.
+"""Command-line entry point for the repro.sim experiment layer.
 
-Usage::
+Subcommands::
 
-    pbs-experiments all            # every table and figure
-    pbs-experiments figure6        # one artefact
-    pbs-experiments figure7 --scale 0.25 --names pi,dop
+    pbs-experiments run all                    # every table and figure
+    pbs-experiments run figure6 --scale 0.25 --seed 3 --json
+    pbs-experiments sweep --workloads pi,dop --seeds 0,1,2,3 --processes 4
+    pbs-experiments list workloads             # registry contents
+
+The pre-subcommand invocation style (``pbs-experiments figure6``) keeps
+working: a bare artefact name is rewritten to ``run <artefact>``.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 import time
 
+from ..sim import DEFAULT_SCALE, DEFAULT_SEED, Sweep, predictor_names, workload_names
 from . import (
     ablations,
     accuracy,
@@ -26,7 +33,6 @@ from . import (
     table2,
     table3,
 )
-from .common import DEFAULT_SCALE
 
 EXPERIMENTS = {
     "figure1": figure1,
@@ -42,6 +48,10 @@ EXPERIMENTS = {
 }
 
 
+def _csv(text):
+    return [item for item in text.split(",") if item]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pbs-experiments",
@@ -50,61 +60,217 @@ def build_parser() -> argparse.ArgumentParser:
             "for Probabilistic Branches' (MICRO 2018)"
         ),
     )
-    parser.add_argument(
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="regenerate one artefact (or 'all')"
+    )
+    run_parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which artefact to regenerate",
     )
-    parser.add_argument(
+    run_parser.add_argument(
         "--scale",
         type=float,
         default=DEFAULT_SCALE,
         help="workload scale factor (1.0 = full default iterations)",
     )
-    parser.add_argument(
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="base random seed (where the experiment takes one)",
+    )
+    run_parser.add_argument(
         "--names",
         type=str,
         default=None,
         help="comma-separated benchmark subset (where supported)",
     )
-    parser.add_argument(
+    run_parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for sweep-based experiments",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="on-disk result cache directory (incremental re-runs)",
+    )
+    run_parser.add_argument(
         "--chart",
         action="store_true",
         help="render figure experiments as ASCII bar charts too",
     )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as JSON instead of rendered tables",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a raw parameter grid through repro.sim.Sweep"
+    )
+    sweep_parser.add_argument(
+        "--workloads", type=_csv, default=None,
+        help="comma-separated benchmarks (default: all registered)",
+    )
+    sweep_parser.add_argument(
+        "--scales", type=lambda s: [float(x) for x in _csv(s)],
+        default=[DEFAULT_SCALE], help="comma-separated scale factors",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=lambda s: [int(x) for x in _csv(s)],
+        default=[DEFAULT_SEED], help="comma-separated seeds",
+    )
+    sweep_parser.add_argument(
+        "--modes", type=_csv, default=["base", "pbs"],
+        help="comma-separated modes from {base, pbs}",
+    )
+    sweep_parser.add_argument(
+        "--predictors", type=_csv, default=None,
+        help="comma-separated predictor names (default: paper baselines)",
+    )
+    sweep_parser.add_argument(
+        "--processes", type=int, default=1, help="worker processes"
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", type=str, default=".pbs-cache",
+        help="on-disk result cache (use '' to disable)",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true",
+        help="emit every RunResult as a JSON array",
+    )
+
+    list_parser = subparsers.add_parser(
+        "list", help="show registered workloads, predictors and artefacts"
+    )
+    list_parser.add_argument(
+        "what",
+        nargs="?",
+        choices=["workloads", "predictors", "experiments", "all"],
+        default="all",
+    )
     return parser
 
 
-def _invoke(module, key: str, scale: float, names, chart: bool = False):
-    kwargs = {}
+def _invoke(module, key, args):
+    """Call ``module.run`` with exactly the arguments it accepts."""
     run = getattr(module, "run")
-    code = run.__code__
-    if "scale" in code.co_varnames[: code.co_argcount]:
-        kwargs["scale"] = scale
-    if names and "names" in code.co_varnames[: code.co_argcount]:
+    parameters = inspect.signature(run).parameters
+    kwargs = {}
+    if "scale" in parameters:
+        kwargs["scale"] = args.scale
+    if "seed" in parameters:
+        kwargs["seed"] = args.seed
+    names = _csv(args.names) if args.names else None
+    if names and "names" in parameters:
         kwargs["names"] = names
+    if "processes" in parameters:
+        kwargs["processes"] = args.processes
+    if "cache_dir" in parameters:
+        kwargs["cache_dir"] = args.cache_dir
     outcome = run(**kwargs)
-    results = outcome if isinstance(outcome, list) else [outcome]
-    for result in results:
-        print(result.render())
-        print()
-        if chart and key in charts.FIGURE_COLUMNS:
-            print(charts.chart_for(result, charts.FIGURE_COLUMNS[key]))
-            print()
+    return outcome if isinstance(outcome, list) else [outcome]
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    names = args.names.split(",") if args.names else None
+def _cmd_run(args) -> int:
     selected = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
+    collected = []
     for key in selected:
         started = time.time()
-        _invoke(EXPERIMENTS[key], key, args.scale, names, chart=args.chart)
+        results = _invoke(EXPERIMENTS[key], key, args)
         elapsed = time.time() - started
+        if args.json:
+            collected.extend(
+                {"experiment": key, **result.to_dict()} for result in results
+            )
+        else:
+            for result in results:
+                print(result.render())
+                print()
+                if args.chart and key in charts.FIGURE_COLUMNS:
+                    print(charts.chart_for(result, charts.FIGURE_COLUMNS[key]))
+                    print()
         print(f"[{key} done in {elapsed:.1f}s]", file=sys.stderr)
+    if args.json:
+        print(json.dumps(collected, indent=2))
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    sweep = Sweep(
+        workloads=args.workloads,
+        scales=args.scales,
+        seeds=args.seeds,
+        modes=args.modes,
+        predictors=args.predictors,
+        cache_dir=args.cache_dir or None,
+    )
+    started = time.time()
+    results = sweep.run(processes=args.processes)
+    elapsed = time.time() - started
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    else:
+        for result in results:
+            mode = "pbs" if result.pbs else "base"
+            mpki = "  ".join(
+                f"{name}={metrics.mpki:.3f}"
+                for name, metrics in result.predictors.items()
+            )
+            origin = "cache" if result.cached else f"{result.wall_time:.1f}s"
+            print(
+                f"{result.workload:10s} scale={result.scale:<5g} "
+                f"seed={result.seed:<3d} {mode:4s}  mpki: {mpki}  [{origin}]"
+            )
+    print(
+        f"[{len(results)} runs: {results.simulated} simulated, "
+        f"{results.cache_hits} from cache, {elapsed:.1f}s]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_list(args) -> int:
+    sections = []
+    if args.what in ("workloads", "all"):
+        sections.append(("workloads", workload_names()))
+    if args.what in ("predictors", "all"):
+        sections.append(("predictors", predictor_names()))
+    if args.what in ("experiments", "all"):
+        sections.append(("experiments", sorted(EXPERIMENTS)))
+    for title, names in sections:
+        print(f"{title}:")
+        for name in names:
+            print(f"  {name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy invocation style: `pbs-experiments figure6 [...]` — also
+    # with options before the artefact (`--scale 0.05 figure6`), which
+    # the old single-parser CLI accepted.
+    artefacts = set(EXPERIMENTS) | {"all"}
+    if (
+        argv
+        and argv[0] not in {"run", "sweep", "list"}
+        and any(token in artefacts for token in argv)
+    ):
+        argv.insert(0, "run")
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return _cmd_list(args)
 
 
 if __name__ == "__main__":

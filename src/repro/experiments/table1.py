@@ -8,8 +8,8 @@ applicable variant and checking it runs to the same outputs.
 from __future__ import annotations
 
 from ..functional import Executor
+from ..sim import Session, get_workload, workload_names
 from ..transforms import TABLE1, build_cfd, build_predicated
-from ..workloads import get_workload, workload_names
 from .common import ExperimentResult
 
 TITLE = "Table I: can predication / CFD be applied?"
@@ -25,7 +25,7 @@ VERIFY_SCALE = 0.05
 def _verify_variant(kind: str, name: str) -> str:
     """Build + run the variant; compare outputs with the original."""
     workload = get_workload(name)
-    original = workload.run(scale=VERIFY_SCALE, seed=2).outputs
+    original = Session(name, scale=VERIFY_SCALE, seed=2).run().outputs
     if kind == "predication":
         program = build_predicated(name, scale=VERIFY_SCALE)
     else:

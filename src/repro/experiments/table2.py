@@ -8,7 +8,7 @@ larger — the probabilistic branch counts are the part that must match).
 
 from __future__ import annotations
 
-from ..workloads import all_workloads
+from ..sim import Session, all_workloads
 from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult
 
 TITLE = "Table II: benchmarks and their characteristics"
@@ -33,7 +33,7 @@ def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> ExperimentRes
     )
     for workload in all_workloads():
         summary = workload.static_summary()
-        run_result = workload.run(scale=scale, seed=seed)
+        run_result = Session(workload.name, scale=scale, seed=seed).run()
         result.add_row(
             **{
                 "benchmark": workload.name,

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..sim import Session
 from ..stats import FAIL, NUM_TESTS, PASS, WEAK, count_interval, run_battery, summarize
-from ..workloads import get_workload
 from .common import DEFAULT_SCALE, ExperimentResult
 
 TITLE = "Table III: randomness battery, original vs PBS value stream"
@@ -30,14 +30,11 @@ DEFAULT_SEEDS = tuple(range(7))
 
 def _stream_counts(name, scale, seeds, use_pbs) -> Dict[str, List[int]]:
     counts: Dict[str, List[int]] = {PASS: [], WEAK: [], FAIL: []}
-    workload = get_workload(name)
     for seed in seeds:
+        session = Session(name, scale=scale, seed=seed).record_consumed()
         if use_pbs:
-            run = workload.run_with_pbs(
-                scale=scale, seed=seed, record_consumed=True
-            )
-        else:
-            run = workload.run(scale=scale, seed=seed, record_consumed=True)
+            session.pbs()
+        run = session.run()
         summary = summarize(run_battery(run.consumed_values))
         for key in counts:
             counts[key].append(summary[key])

@@ -1,0 +1,66 @@
+"""repro.sim — the unified public API for running simulations.
+
+One import gives everything a scenario needs:
+
+* :class:`Session` — a fluent builder for a single run (one benchmark
+  interpretation fanned out to any number of predictors, timing cores
+  and the PBS engine), returning a structured :class:`RunResult`;
+* :class:`Sweep` — parameter-grid execution over worker processes with
+  deterministic per-run seeding and an on-disk :class:`ResultCache`;
+* :func:`register_workload` / :func:`register_predictor` — decorator
+  registries through which benchmarks and predictors plug themselves in.
+
+Quickstart::
+
+    from repro.sim import Session, Sweep
+
+    one = Session("pi").scale(0.5).seed(1).predictors("tournament").pbs().run()
+    grid = Sweep(workloads=["pi", "dop"], seeds=range(4)).run(processes=4)
+
+See ``docs/api.md`` for the full tour.
+"""
+
+from .cache import CACHE_VERSION, ResultCache, spec_digest
+from .registry import (
+    all_workloads,
+    baseline_predictors,
+    create_predictor,
+    get_workload,
+    predictor_factory,
+    predictor_names,
+    register_predictor,
+    register_workload,
+    workload_class,
+    workload_names,
+)
+from .results import CoreMetrics, PBSMetrics, PredictorMetrics, RunResult
+from .session import DEFAULT_SCALE, DEFAULT_SEED, FanOut, Session
+from .sweep import MODES, RunSpec, Sweep, SweepResult
+
+__all__ = [
+    "CACHE_VERSION",
+    "ResultCache",
+    "spec_digest",
+    "all_workloads",
+    "baseline_predictors",
+    "create_predictor",
+    "get_workload",
+    "predictor_factory",
+    "predictor_names",
+    "register_predictor",
+    "register_workload",
+    "workload_class",
+    "workload_names",
+    "CoreMetrics",
+    "PBSMetrics",
+    "PredictorMetrics",
+    "RunResult",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "FanOut",
+    "Session",
+    "MODES",
+    "RunSpec",
+    "Sweep",
+    "SweepResult",
+]

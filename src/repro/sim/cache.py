@@ -1,0 +1,71 @@
+"""On-disk memoization of completed simulation runs.
+
+Results are stored one JSON file per run, named by the SHA-256 digest of
+the run's canonical specification (workload, scale, seed, mode, predictor
+set, PBS/core configuration and a cache-format version).  Re-running a
+sweep therefore only simulates the grid points whose results are missing;
+everything else loads from disk with ``cached=True`` set on the result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .results import RunResult
+
+#: Bump when RunResult serialization or simulation semantics change in a
+#: way that invalidates previously cached results.
+CACHE_VERSION = 1
+
+
+def spec_digest(payload: Dict) -> str:
+    """Stable digest of a canonical (JSON-serializable) run spec."""
+    payload = dict(payload)
+    payload["__cache_version__"] = CACHE_VERSION
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<digest>.json`` files, one per completed run."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[RunResult]:
+        path = self.path(digest)
+        try:
+            result = RunResult.from_json(path.read_text())
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing or corrupt entry: treat as a miss and re-simulate.
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.cached = True
+        return result
+
+    def put(self, digest: str, result: RunResult) -> None:
+        path = self.path(digest)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(result.to_json())
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

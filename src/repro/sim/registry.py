@@ -1,0 +1,160 @@
+"""Decorator-based plugin registries for workloads and predictors.
+
+Scenarios register themselves at import time instead of being hardwired
+into central tuples::
+
+    @register_workload(order=6)
+    class PiWorkload(Workload):
+        name = "pi"
+        ...
+
+    @register_predictor("tage-sc-l", baseline=True)
+    class TageSCL(BranchPredictor):
+        ...
+
+This module is intentionally dependency-free (no imports from the rest of
+:mod:`repro`) so any package — workloads, predictors, external plugins —
+can import it without cycles.  The registries preserve a stable listing
+order: entries registered with an explicit ``order`` come first (sorted by
+it), later unordered registrations append in import order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+_bootstrapped = False
+
+
+def _bootstrap() -> None:
+    """Import the built-in workload and predictor packages once, so their
+    ``@register_*`` decorators run before the first registry lookup."""
+    global _bootstrapped
+    if _bootstrapped:
+        return
+    _bootstrapped = True
+    from .. import branch, workloads  # noqa: F401  (import side effect)
+
+
+# ----------------------------------------------------------------------
+# Workloads.
+# ----------------------------------------------------------------------
+#: name -> (workload class, sort key)
+_WORKLOADS: Dict[str, Tuple[type, Tuple[int, int]]] = {}
+_WORKLOAD_INSTANCES: Dict[str, object] = {}
+_registration_seq = 0
+
+
+def register_workload(cls: Optional[type] = None, *, order: Optional[int] = None):
+    """Class decorator: add a :class:`~repro.workloads.base.Workload` to
+    the global registry under its ``name`` attribute.
+
+    ``order`` pins the position in :func:`workload_names` (the paper's
+    Table II order); omitted, the workload lists after all ordered ones.
+    Usable bare (``@register_workload``) or parameterized
+    (``@register_workload(order=3)``).  Re-registering a name replaces the
+    previous entry (latest wins), so plugins may override built-ins.
+    """
+
+    def decorate(workload_cls: type) -> type:
+        global _registration_seq
+        name = getattr(workload_cls, "name", "")
+        if not name:
+            raise ValueError(
+                f"workload class {workload_cls.__name__} needs a non-empty "
+                "'name' attribute to be registered"
+            )
+        _registration_seq += 1
+        sort_key = (0, order) if order is not None else (1, _registration_seq)
+        _WORKLOADS[name] = (workload_cls, sort_key)
+        _WORKLOAD_INSTANCES.pop(name, None)
+        return workload_cls
+
+    if cls is not None:
+        return decorate(cls)
+    return decorate
+
+
+def workload_names() -> List[str]:
+    """All registered benchmark names, paper (Table II) order first."""
+    _bootstrap()
+    return [
+        name
+        for name, (_, key) in sorted(_WORKLOADS.items(), key=lambda kv: kv[1][1])
+    ]
+
+
+def workload_class(name: str) -> type:
+    _bootstrap()
+    try:
+        return _WORKLOADS[name][0]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(workload_names())}"
+        ) from None
+
+
+def get_workload(name: str):
+    """The shared instance of workload ``name`` (instantiated lazily)."""
+    if name not in _WORKLOAD_INSTANCES:
+        _WORKLOAD_INSTANCES[name] = workload_class(name)()
+    return _WORKLOAD_INSTANCES[name]
+
+
+def all_workloads() -> List[object]:
+    return [get_workload(name) for name in workload_names()]
+
+
+# ----------------------------------------------------------------------
+# Predictors.
+# ----------------------------------------------------------------------
+#: name -> (factory, is_baseline, sort key)
+_PREDICTORS: Dict[str, Tuple[Callable[[], object], bool, Tuple[int, int]]] = {}
+
+
+def register_predictor(name: str, *, baseline: bool = False, order: Optional[int] = None):
+    """Decorator: register a zero-argument predictor factory under ``name``.
+
+    ``baseline=True`` marks the paper's evaluated predictors (Section
+    VI-B); experiments that do not name predictors explicitly run the
+    baselines.  Applies to classes and plain factory callables alike.
+    """
+
+    def decorate(factory: Callable[[], object]) -> Callable[[], object]:
+        global _registration_seq
+        _registration_seq += 1
+        sort_key = (0, order) if order is not None else (1, _registration_seq)
+        _PREDICTORS[name] = (factory, baseline, sort_key)
+        return factory
+
+    return decorate
+
+
+def predictor_names(baseline_only: bool = False) -> List[str]:
+    _bootstrap()
+    items = sorted(_PREDICTORS.items(), key=lambda kv: kv[1][2])
+    return [
+        name for name, (_, is_base, _) in items if is_base or not baseline_only
+    ]
+
+
+def baseline_predictors() -> Tuple[str, ...]:
+    """The paper's evaluated predictor pair, in registration order."""
+    return tuple(predictor_names(baseline_only=True))
+
+
+def predictor_factory(name: str) -> Callable[[], object]:
+    _bootstrap()
+    try:
+        return _PREDICTORS[name][0]
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor {name!r}; available: "
+            f"{', '.join(predictor_names())}"
+        ) from None
+
+
+def create_predictor(name: str):
+    """Instantiate a fresh predictor by registry name."""
+    return predictor_factory(name)()

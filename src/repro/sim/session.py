@@ -1,0 +1,246 @@
+"""The fluent :class:`Session` builder — one simulation run, one API.
+
+A session describes a single execution of a benchmark: which workload, at
+what scale and seed, which branch predictors observe the trace, whether
+the PBS engine is attached, and whether the run is timed on an
+out-of-order core.  The benchmark is interpreted **once** and the trace
+fans out to every attached consumer::
+
+    from repro.sim import Session
+
+    result = (
+        Session("pi")
+        .scale(0.5)
+        .seed(1)
+        .predictors("tournament", "tage-sc-l")
+        .pbs()
+        .run()
+    )
+    print(result.predictor("tournament").mpki)
+
+``run()`` returns a structured, JSON-serializable :class:`RunResult`; the
+live simulation objects (harnesses, cores, the PBS engine, the raw
+``WorkloadRun``) stay reachable on the session for callers that need
+them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from .registry import create_predictor, get_workload
+from .results import CoreMetrics, PBSMetrics, PredictorMetrics, RunResult
+
+#: Default evaluation scale: large enough for stable branch-predictor
+#: steady state, small enough for pure-Python simulation.
+DEFAULT_SCALE = 0.5
+DEFAULT_SEED = 1
+
+
+class FanOut:
+    """Fans one trace event stream out to several consumers."""
+
+    def __init__(self, sinks: Sequence[Callable]):
+        self.sinks = list(sinks)
+
+    def __call__(self, event) -> None:
+        for sink in self.sinks:
+            sink(event)
+
+
+@dataclass
+class _PredictorSpec:
+    """One attached trace consumer: a predictor plus harness options."""
+
+    factory: Union[str, Callable[[], object]]
+    label: str
+    options: Dict = field(default_factory=dict)
+
+    def make(self):
+        if callable(self.factory):
+            return self.factory()
+        return create_predictor(self.factory)
+
+
+class Session:
+    """Fluent builder for one simulation run.
+
+    Every configuration method returns ``self`` so calls chain; ``run()``
+    may be called repeatedly (fresh predictors, cores and engine are
+    built each time).
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        scale: float = DEFAULT_SCALE,
+        seed: int = DEFAULT_SEED,
+    ):
+        self._workload = workload
+        self._scale = scale
+        self._seed = seed
+        self._specs: List[_PredictorSpec] = []
+        self._pbs_config = None          # PBSConfig when PBS is on
+        self._timing_config = None       # CoreConfig when timing is on
+        self._record_consumed = False
+        self._extra_sinks: List[Callable] = []
+        # Live objects from the most recent run().
+        self.harnesses: Dict[str, object] = {}
+        self.cores: Dict[str, object] = {}
+        self.engine = None
+        self.workload_run = None
+
+    # -- builder methods -----------------------------------------------
+    def scale(self, scale: float) -> "Session":
+        self._scale = scale
+        return self
+
+    def seed(self, seed: int) -> "Session":
+        self._seed = seed
+        return self
+
+    def predictor(
+        self,
+        factory: Union[str, Callable[[], object]],
+        label: Optional[str] = None,
+        **options,
+    ) -> "Session":
+        """Attach one predictor; ``options`` go to its harness
+        (``filter_probabilistic``, ``pbs_inserts_history``)."""
+        if label is None:
+            label = factory if isinstance(factory, str) else (
+                getattr(factory, "__name__", repr(factory))
+            )
+        self._specs.append(_PredictorSpec(factory, label, dict(options)))
+        return self
+
+    def predictors(self, *factories, **options) -> "Session":
+        """Attach several predictors, all with the same harness options."""
+        for factory in factories:
+            self.predictor(factory, **options)
+        return self
+
+    def pbs(self, config=True) -> "Session":
+        """Attach the PBS engine (``True`` = the paper's default config,
+        a :class:`~repro.core.PBSConfig` for custom sizing, falsy = off)."""
+        from ..core import PBSConfig
+
+        if config is True:
+            self._pbs_config = PBSConfig()
+        elif not config:
+            self._pbs_config = None
+        else:
+            self._pbs_config = config
+        return self
+
+    def timing(self, config=None) -> "Session":
+        """Run each attached predictor inside an out-of-order timing core
+        (``config``: a :class:`~repro.pipeline.CoreConfig`, a zero-arg
+        factory such as ``four_wide``, or ``None`` for the paper's 4-wide
+        baseline)."""
+        from ..pipeline import four_wide
+
+        if config is None:
+            config = four_wide()
+        elif callable(config):
+            config = config()
+        self._timing_config = config
+        return self
+
+    def record_consumed(self, flag: bool = True) -> "Session":
+        """Record the probabilistic values the program consumes, in
+        consumption order (Table III's randomness streams)."""
+        self._record_consumed = flag
+        return self
+
+    def sink(self, consumer: Callable) -> "Session":
+        """Attach an arbitrary extra trace consumer.
+
+        Unlike predictors and cores, extra sinks are caller-owned: they
+        are not rebuilt per run, so a sink fed by several ``run()``
+        calls accumulates state across all of them.
+        """
+        self._extra_sinks.append(consumer)
+        return self
+
+    # -- execution -------------------------------------------------------
+    def run(self) -> RunResult:
+        from ..branch import PredictorHarness
+        from ..core import PBSEngine
+        from ..pipeline import OoOCore
+
+        workload = get_workload(self._workload)
+        self.harnesses = {}
+        self.cores = {}
+        consumers: List[Callable] = []
+
+        if self._timing_config is not None:
+            for spec in self._specs:
+                config = replace(
+                    self._timing_config,
+                    latencies=dict(self._timing_config.latencies),
+                )
+                core = OoOCore(config, spec.make(), **spec.options)
+                self.cores[spec.label] = core
+                consumers.append(core.feed)
+        else:
+            for spec in self._specs:
+                harness = PredictorHarness(spec.make(), **spec.options)
+                self.harnesses[spec.label] = harness
+                consumers.append(harness)
+        consumers.extend(self._extra_sinks)
+
+        self.engine = (
+            PBSEngine(self._pbs_config) if self._pbs_config is not None else None
+        )
+        sink = None
+        if consumers:
+            sink = consumers[0] if len(consumers) == 1 else FanOut(consumers)
+
+        started = time.perf_counter()
+        self.workload_run = workload.run(
+            scale=self._scale,
+            seed=self._seed,
+            pbs=self.engine,
+            sink=sink,
+            record_consumed=self._record_consumed,
+        )
+        wall_time = time.perf_counter() - started
+
+        for core in self.cores.values():
+            core.finalize()
+
+        return self._package(wall_time)
+
+    def _package(self, wall_time: float) -> RunResult:
+        from dataclasses import asdict
+
+        run = self.workload_run
+        result = RunResult(
+            workload=self._workload,
+            scale=self._scale,
+            seed=self._seed,
+            pbs=self._pbs_config is not None,
+            pbs_config=(
+                asdict(self._pbs_config) if self._pbs_config is not None else None
+            ),
+            predictors={
+                label: PredictorMetrics.from_stats(label, harness.stats)
+                for label, harness in self.harnesses.items()
+            },
+            cores={
+                label: CoreMetrics.from_stats(label, core.stats)
+                for label, core in self.cores.items()
+            },
+            pbs_stats=(
+                PBSMetrics.from_stats(self.engine.stats) if self.engine else None
+            ),
+            outputs=dict(run.outputs),
+            instructions=run.instructions,
+            wall_time=wall_time,
+        )
+        if self._record_consumed:
+            result.consumed_values = list(run.consumed_values)
+        return result

@@ -1,0 +1,245 @@
+"""The :class:`Sweep` driver: parameter grids over :class:`Session` runs.
+
+A sweep expands ``{workload} x {scale} x {seed} x {mode}`` into
+picklable :class:`RunSpec` descriptions, executes them — serially or
+across ``multiprocessing`` workers — and memoizes completed runs in an
+on-disk :class:`~repro.sim.cache.ResultCache`.  Every run carries its own
+seed in its spec, so results are bit-identical regardless of worker count
+or execution order::
+
+    from repro.sim import Sweep
+
+    grid = Sweep(workloads=["pi", "dop"], seeds=range(4), cache_dir=".pbs-cache")
+    results = grid.run(processes=4)
+    print(results.get(workload="pi", seed=0, mode="pbs").predictor("tournament").mpki)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache, spec_digest
+from .registry import baseline_predictors, workload_names
+from .results import RunResult
+from .session import DEFAULT_SCALE, DEFAULT_SEED, Session
+
+MODES = ("base", "pbs")
+
+
+def _core_config_to_dict(config) -> Dict:
+    """Canonical JSON form of a CoreConfig (enum latency keys by name)."""
+    data = asdict(config)
+    data["latencies"] = {
+        op.name: latency for op, latency in config.latencies.items()
+    }
+    return data
+
+
+def _core_config_from_dict(data: Dict):
+    from ..isa.opcodes import OpClass
+    from ..pipeline import CoreConfig
+
+    data = dict(data)
+    data["latencies"] = {
+        OpClass[name]: latency for name, latency in data["latencies"].items()
+    }
+    return CoreConfig(**data)
+
+
+@dataclass
+class RunSpec:
+    """A picklable, cache-keyable description of one Session run."""
+
+    workload: str
+    scale: float = DEFAULT_SCALE
+    seed: int = DEFAULT_SEED
+    mode: str = "base"
+    predictors: Tuple[str, ...] = ()
+    harness_options: Dict = field(default_factory=dict)
+    pbs_config: Optional[Dict] = None
+    timing: Optional[Dict] = None
+    record_consumed: bool = False
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+    def cache_key(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "scale": self.scale,
+            "seed": self.seed,
+            "mode": self.mode,
+            "predictors": list(self.predictors),
+            "harness_options": dict(sorted(self.harness_options.items())),
+            "pbs_config": self.pbs_config,
+            "timing": self.timing,
+            "record_consumed": self.record_consumed,
+        }
+
+    def digest(self) -> str:
+        return spec_digest(self.cache_key())
+
+    def session(self) -> Session:
+        from ..core import PBSConfig
+
+        session = Session(self.workload, scale=self.scale, seed=self.seed)
+        session.predictors(*self.predictors, **self.harness_options)
+        if self.mode == "pbs":
+            config = (
+                PBSConfig(**self.pbs_config) if self.pbs_config else PBSConfig()
+            )
+            session.pbs(config)
+        if self.timing is not None:
+            session.timing(_core_config_from_dict(self.timing))
+        if self.record_consumed:
+            session.record_consumed()
+        return session
+
+
+def _execute_spec(spec: RunSpec) -> RunResult:
+    """Worker entry point: run one spec (module-level for pickling)."""
+    return spec.session().run()
+
+
+class SweepResult:
+    """Ordered run results with grid-coordinate lookup."""
+
+    def __init__(self, results: List[RunResult], cache_hits: int = 0,
+                 simulated: int = 0):
+        self.results = results
+        self.cache_hits = cache_hits
+        self.simulated = simulated
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def select(self, **filters) -> List[RunResult]:
+        """All results whose attributes match ``filters``
+        (e.g. ``workload="pi"``, ``mode="pbs"``, ``seed=3``)."""
+        mode = filters.pop("mode", None)
+        matches = []
+        for result in self.results:
+            if mode is not None and result.pbs != (mode == "pbs"):
+                continue
+            if all(getattr(result, key) == value
+                   for key, value in filters.items()):
+                matches.append(result)
+        return matches
+
+    def get(self, **filters) -> RunResult:
+        """The unique result matching ``filters`` (raises otherwise)."""
+        matches = self.select(**filters)
+        if len(matches) != 1:
+            raise LookupError(
+                f"{len(matches)} results match {filters!r}; expected exactly 1"
+            )
+        return matches[0]
+
+
+class Sweep:
+    """Expand a parameter grid and execute it with caching + parallelism."""
+
+    def __init__(
+        self,
+        workloads: Optional[Iterable[str]] = None,
+        scales: Sequence[float] = (DEFAULT_SCALE,),
+        seeds: Sequence[int] = (DEFAULT_SEED,),
+        modes: Sequence[str] = MODES,
+        predictors: Optional[Sequence[str]] = None,
+        harness_options: Optional[Dict] = None,
+        pbs_config=None,
+        timing=None,
+        record_consumed: bool = False,
+        cache_dir: Optional[str] = None,
+    ):
+        self.workloads = list(workloads) if workloads is not None else None
+        self.scales = tuple(scales)
+        self.seeds = tuple(seeds)
+        self.modes = tuple(modes)
+        self.predictors = tuple(predictors) if predictors is not None else None
+        self.harness_options = dict(harness_options or {})
+        if pbs_config is not None and not isinstance(pbs_config, dict):
+            pbs_config = asdict(pbs_config)
+        self.pbs_config = pbs_config
+        if timing is not None:
+            if callable(timing):
+                timing = timing()
+            if not isinstance(timing, dict):
+                timing = _core_config_to_dict(timing)
+        self.timing = timing
+        self.record_consumed = record_consumed
+        self.cache_dir = cache_dir
+
+    def specs(self) -> List[RunSpec]:
+        """The grid, expanded in deterministic order."""
+        workloads = (
+            self.workloads if self.workloads is not None else workload_names()
+        )
+        predictors = (
+            self.predictors if self.predictors is not None
+            else baseline_predictors()
+        )
+        return [
+            RunSpec(
+                workload=workload,
+                scale=scale,
+                seed=seed,
+                mode=mode,
+                predictors=predictors,
+                harness_options=dict(self.harness_options),
+                pbs_config=self.pbs_config if mode == "pbs" else None,
+                timing=self.timing,
+                record_consumed=self.record_consumed,
+            )
+            for workload in workloads
+            for scale in self.scales
+            for seed in self.seeds
+            for mode in self.modes
+        ]
+
+    def run(self, processes: int = 1) -> SweepResult:
+        specs = self.specs()
+        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        results: List[Optional[RunResult]] = [None] * len(specs)
+
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            if cache is not None:
+                hit = cache.get(spec.digest())
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            pending.append(index)
+
+        if pending:
+            todo = [specs[index] for index in pending]
+            if processes > 1 and len(todo) > 1:
+                fresh = self._run_parallel(todo, processes)
+            else:
+                fresh = [_execute_spec(spec) for spec in todo]
+            for index, result in zip(pending, fresh):
+                results[index] = result
+                if cache is not None:
+                    cache.put(specs[index].digest(), result)
+
+        return SweepResult(
+            results, cache_hits=len(specs) - len(pending),
+            simulated=len(pending),
+        )
+
+    @staticmethod
+    def _run_parallel(specs: List[RunSpec], processes: int) -> List[RunResult]:
+        # Prefer fork: workers inherit the interpreter state (registries,
+        # sys.path) without re-importing __main__, and start instantly.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with context.Pool(min(processes, len(specs))) as pool:
+            return pool.map(_execute_spec, specs)

@@ -19,6 +19,7 @@ from typing import Dict, List
 from ..functional.rng import Drand48
 from ..isa import F, Program, ProgramBuilder, R
 from .base import PaperFacts, Workload
+from ..sim.registry import register_workload
 
 DEFAULT_STEPS = 8_000
 NUM_ARMS = 8
@@ -35,6 +36,7 @@ ADDR_COUNTS = 2 * NUM_ARMS
 DATA_SIZE = 3 * NUM_ARMS
 
 
+@register_workload(order=7)
 class BanditWorkload(Workload):
     name = "bandit"
     description = "Epsilon-greedy multi-armed bandit (8 Bernoulli arms)"

@@ -17,6 +17,7 @@ from typing import Dict
 from ..functional.rng import Drand48
 from ..isa import F, Program, ProgramBuilder, R
 from .base import PaperFacts, Workload
+from ..sim.registry import register_workload
 
 DEFAULT_PATHS = 8_000
 
@@ -32,6 +33,7 @@ DISCOUNT = math.exp(-RATE * MATURITY)
 TWO_PI = 2.0 * math.pi
 
 
+@register_workload(order=0)
 class DopWorkload(Workload):
     name = "dop"
     description = "Digital option pricing (call + put) by Monte Carlo"

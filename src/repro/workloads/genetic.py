@@ -25,6 +25,7 @@ from typing import Dict, List
 from ..functional.rng import Drand48
 from ..isa import F, Program, ProgramBuilder, R
 from .base import PaperFacts, Workload
+from ..sim.registry import register_workload
 
 POP = 12
 LEN = 24
@@ -45,6 +46,7 @@ def target_bit(index: int) -> int:
     return index & 1
 
 
+@register_workload(order=3)
 class GeneticWorkload(Workload):
     name = "genetic"
     description = "Bitstring genetic algorithm with tournament selection"

@@ -16,6 +16,7 @@ from typing import Dict
 from ..functional.rng import Drand48
 from ..isa import F, Program, ProgramBuilder, R
 from .base import PaperFacts, Workload
+from ..sim.registry import register_workload
 
 DEFAULT_PATHS = 6_000
 
@@ -35,6 +36,7 @@ ADJUST_UP = (SPOT + BUMP) * _DRIFT
 ADJUST_DOWN = (SPOT - BUMP) * _DRIFT
 
 
+@register_workload(order=1)
 class GreeksWorkload(Workload):
     name = "greeks"
     description = "Monte Carlo Greeks (price/delta/gamma) via bumped spots"

@@ -15,6 +15,7 @@ from typing import Dict
 from ..functional.rng import Drand48
 from ..isa import F, Program, ProgramBuilder, R
 from .base import PaperFacts, Workload
+from ..sim.registry import register_workload
 
 DEFAULT_ITERATIONS = 20_000
 
@@ -22,6 +23,7 @@ DEFAULT_ITERATIONS = 20_000
 TRUE_INTEGRAL = math.sqrt(math.pi) / 2.0 * math.erf(1.0)
 
 
+@register_workload(order=5)
 class McIntegWorkload(Workload):
     name = "mc-integ"
     description = "Monte Carlo hit-or-miss integration of exp(-x^2) on [0,1]"

@@ -32,6 +32,7 @@ from typing import Dict, List
 from ..functional.rng import Drand48
 from ..isa import F, Program, ProgramBuilder, R
 from .base import PaperFacts, Workload
+from ..sim.registry import register_workload
 
 DEFAULT_PHOTONS = 3_000
 
@@ -44,6 +45,7 @@ SURVIVE_P = 0.5
 BINS = 16
 
 
+@register_workload(order=4)
 class PhotonWorkload(Workload):
     name = "photon"
     description = "Monte Carlo photon transport through a translucent slab"

@@ -14,10 +14,12 @@ from typing import Dict
 from ..functional.rng import Drand48
 from ..isa import F, Program, ProgramBuilder, R
 from .base import PaperFacts, Workload
+from ..sim.registry import register_workload
 
 DEFAULT_ITERATIONS = 20_000
 
 
+@register_workload(order=6)
 class PiWorkload(Workload):
     name = "pi"
     description = "Monte Carlo estimation of pi by quarter-circle sampling"

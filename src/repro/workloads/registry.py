@@ -1,49 +1,47 @@
-"""Workload registry: name -> Workload instance."""
+"""Workload registry: name -> Workload instance.
+
+This module is now a thin compatibility facade over the decorator-based
+plugin registry in :mod:`repro.sim.registry` — each workload module
+registers itself with ``@register_workload(order=...)`` (the paper's
+Table II order), so new benchmarks plug in without editing any central
+list.  Importing this package pulls in the built-in eight.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from .bandit import BanditWorkload
+from ..sim.registry import all_workloads, get_workload, workload_names
+from ..sim.registry import workload_class as _workload_class
 from .base import Workload
-from .dop import DopWorkload
-from .genetic import GeneticWorkload
-from .greeks import GreeksWorkload
-from .mc_integ import McIntegWorkload
-from .photon import PhotonWorkload
-from .pi import PiWorkload
-from .swaptions import SwaptionsWorkload
 
-#: Paper order (Table II).
-WORKLOAD_CLASSES = (
-    DopWorkload,
-    GreeksWorkload,
-    SwaptionsWorkload,
-    GeneticWorkload,
-    PhotonWorkload,
-    McIntegWorkload,
-    PiWorkload,
-    BanditWorkload,
+# Importing the modules runs their @register_workload decorators.
+from . import (  # noqa: E402,F401  (import side effect)
+    bandit,
+    dop,
+    genetic,
+    greeks,
+    mc_integ,
+    photon,
+    pi,
+    swaptions,
 )
 
-_REGISTRY: Dict[str, Workload] = {
-    cls.name: cls() for cls in WORKLOAD_CLASSES
-}
+
+def workload_classes() -> List[type]:
+    """Registered workload classes in Table II order (previously the
+    hardcoded ``WORKLOAD_CLASSES`` tuple)."""
+    return [_workload_class(name) for name in workload_names()]
 
 
-def workload_names() -> List[str]:
-    """All benchmark names in the paper's Table II order."""
-    return [cls.name for cls in WORKLOAD_CLASSES]
+#: Backwards-compatible alias for the old hardcoded tuple.
+WORKLOAD_CLASSES = tuple(workload_classes())
 
-
-def get_workload(name: str) -> Workload:
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
-        ) from None
-
-
-def all_workloads() -> List[Workload]:
-    return [get_workload(name) for name in workload_names()]
+__all__ = [
+    "WORKLOAD_CLASSES",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "workload_classes",
+    "workload_names",
+]

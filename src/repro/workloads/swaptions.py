@@ -21,6 +21,7 @@ from typing import Dict, List
 from ..functional.rng import Drand48
 from ..isa import F, Program, ProgramBuilder, R
 from .base import PaperFacts, Workload
+from ..sim.registry import register_workload
 
 DEFAULT_PATHS = 1_000
 TIME_STEPS = 16
@@ -35,6 +36,7 @@ FIXED_RATE = 0.05
 STRIKES = (0.0, 0.5, 1.0)
 
 
+@register_workload(order=2)
 class SwaptionsWorkload(Workload):
     name = "swaptions"
     description = "Monte Carlo pricing of three payer swaptions"

@@ -59,6 +59,31 @@ class TestContextSwitch:
         engine.restore_state(snapshot)
         assert engine.transact(group(0.2)).mode == "regular"
 
+    def test_snapshot_immune_to_later_execution(self):
+        """Regression: save_state used to hand out live table references,
+        so running the engine after a save corrupted the snapshot unless
+        the caller remembered to reset() immediately."""
+        engine = self.warm_engine()
+        snapshot = engine.save_state()
+        # Keep executing on a *different* value stream after the save.
+        for step in range(20):
+            engine.transact(group(0.9 - 0.01 * step))
+        engine.reset()
+        engine.restore_state(snapshot)
+        decision = engine.transact(group(0.9))
+        assert decision.mode == "hit"
+        # The replayed value comes from the pre-snapshot stream (depth-4
+        # lag over 0.05*(step+1)), not from the post-save mutations.
+        assert decision.swap_values == [0.05 * 7]
+
+    def test_snapshot_restorable_repeatedly(self):
+        engine = self.warm_engine()
+        snapshot = engine.save_state()
+        for _ in range(2):
+            engine.reset()
+            engine.restore_state(snapshot)
+            assert engine.transact(group(0.9)).mode == "hit"
+
     def test_restore_preserves_context_table(self):
         engine = PBSEngine()
         engine.observe_branch(pc=50, taken=True, target=10)

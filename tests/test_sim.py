@@ -1,0 +1,204 @@
+"""Tests for the repro.sim Session/Sweep API and plugin registries."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.core import PBSConfig
+from repro.pipeline import four_wide
+from repro.sim import (
+    RunResult,
+    RunSpec,
+    Session,
+    Sweep,
+    baseline_predictors,
+    create_predictor,
+    get_workload,
+    predictor_names,
+    register_workload,
+    workload_names,
+)
+from repro.sim import registry as sim_registry
+from repro.workloads.base import Workload
+
+SCALE = 0.05
+
+
+class TestRegistry:
+    def test_table_ii_order(self):
+        assert workload_names() == [
+            "dop", "greeks", "swaptions", "genetic", "photon",
+            "mc-integ", "pi", "bandit",
+        ]
+
+    def test_unknown_workload_raises_with_listing(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_workload("no-such-benchmark")
+        message = str(excinfo.value)
+        assert "no-such-benchmark" in message
+        assert "pi" in message  # available names are listed
+
+    def test_unknown_predictor_raises_with_listing(self):
+        with pytest.raises(KeyError) as excinfo:
+            create_predictor("no-such-predictor")
+        assert "tournament" in str(excinfo.value)
+
+    def test_baselines_are_the_papers_pair(self):
+        assert baseline_predictors() == ("tournament", "tage-sc-l")
+        assert set(baseline_predictors()) <= set(predictor_names())
+
+    def test_workload_instances_are_shared(self):
+        assert get_workload("pi") is get_workload("pi")
+
+    def test_decorator_registration_and_override(self):
+        pi_cls = sim_registry.workload_class("pi")
+        try:
+            @register_workload(order=99)
+            class ProbeWorkload(pi_cls):
+                name = "test-probe"
+
+            assert "test-probe" in workload_names()
+            assert workload_names()[-1] == "test-probe"
+            assert isinstance(get_workload("test-probe"), ProbeWorkload)
+        finally:
+            sim_registry._WORKLOADS.pop("test-probe", None)
+            sim_registry._WORKLOAD_INSTANCES.pop("test-probe", None)
+        assert "test-probe" not in workload_names()
+
+    def test_nameless_workload_rejected(self):
+        with pytest.raises(ValueError):
+            register_workload(type("Anon", (Workload,), {}))
+
+
+class TestSession:
+    def test_single_pass_fans_out_to_all_predictors(self):
+        result = (
+            Session("pi", scale=SCALE, seed=1)
+            .predictors("tournament", "tage-sc-l")
+            .run()
+        )
+        assert set(result.predictors) == {"tournament", "tage-sc-l"}
+        assert result.instructions > 0
+        assert result.predictor("tournament").mpki > 0
+        assert result.outputs  # workload outputs captured
+        assert not result.pbs and result.pbs_stats is None
+
+    def test_pbs_mode_attaches_engine_stats(self):
+        result = Session("pi", scale=SCALE, seed=1).pbs().run()
+        assert result.pbs
+        assert result.pbs_stats.instances > 0
+        assert 0.0 < result.pbs_stats.hit_rate <= 1.0
+
+    def test_timing_builds_cores(self):
+        result = (
+            Session("pi", scale=SCALE, seed=1)
+            .predictors("tournament")
+            .timing(four_wide)
+            .run()
+        )
+        assert result.core("tournament").cycles > 0
+        assert result.core("tournament").ipc > 0
+
+    def test_harness_options_reach_the_harness(self):
+        result = (
+            Session("pi", scale=SCALE, seed=1)
+            .predictor("tournament", label="shared")
+            .predictor("tournament", label="filtered", filter_probabilistic=True)
+            .run()
+        )
+        # The filtered harness charges probabilistic branches statically.
+        assert result.predictor("filtered").prob_branches > 0
+
+    def test_record_consumed(self):
+        result = Session("pi", scale=SCALE, seed=1).record_consumed().run()
+        assert result.consumed_values
+        assert all(isinstance(v, float) for v in result.consumed_values)
+
+    def test_json_round_trip(self):
+        result = (
+            Session("pi", scale=SCALE, seed=1)
+            .predictors("tournament")
+            .pbs(PBSConfig(inflight_depth=2))
+            .run()
+        )
+        clone = RunResult.from_json(result.to_json())
+        assert clone.predictor("tournament").mpki == result.predictor("tournament").mpki
+        assert clone.pbs_stats.hit_rate == result.pbs_stats.hit_rate
+        assert clone.pbs_config["inflight_depth"] == 2
+        assert json.loads(result.to_json())["workload"] == "pi"
+
+
+class TestSweep:
+    GRID = dict(workloads=["pi"], scales=(SCALE,), seeds=(1, 2))
+
+    def test_cache_miss_then_hit(self, tmp_path):
+        first = Sweep(cache_dir=tmp_path, **self.GRID).run()
+        assert (first.simulated, first.cache_hits) == (4, 0)
+        second = Sweep(cache_dir=tmp_path, **self.GRID).run()
+        assert (second.simulated, second.cache_hits) == (0, 4)
+        for fresh, cached in zip(first, second):
+            assert cached.cached and not fresh.cached
+            assert fresh.to_json() == cached.to_json()
+
+    def test_config_change_invalidates_cache(self, tmp_path):
+        Sweep(cache_dir=tmp_path, **self.GRID).run()
+        changed = Sweep(
+            cache_dir=tmp_path,
+            pbs_config=PBSConfig(inflight_depth=2),
+            **self.GRID,
+        ).run()
+        # Base runs ignore the PBS config; only the pbs runs re-simulate.
+        assert changed.simulated == 2
+        assert changed.cache_hits == 2
+
+    def test_parallel_matches_serial(self):
+        serial = Sweep(**self.GRID).run(processes=1)
+        parallel = Sweep(**self.GRID).run(processes=4)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            da, db = a.to_dict(), b.to_dict()
+            da.pop("wall_time"), db.pop("wall_time")
+            assert da == db
+
+    def test_lookup_by_grid_coordinates(self):
+        results = Sweep(**self.GRID).run()
+        run = results.get(workload="pi", seed=2, mode="pbs")
+        assert run.pbs and run.seed == 2
+        assert len(results.select(mode="base")) == 2
+        with pytest.raises(LookupError):
+            results.get(workload="pi")  # ambiguous: four matches
+
+    def test_spec_digest_distinguishes_configs(self):
+        base = RunSpec(workload="pi", scale=SCALE, seed=1)
+        assert base.digest() == RunSpec(workload="pi", scale=SCALE, seed=1).digest()
+        assert base.digest() != RunSpec(workload="pi", scale=SCALE, seed=2).digest()
+        assert base.digest() != RunSpec(workload="dop", scale=SCALE, seed=1).digest()
+
+
+class TestDeprecationShims:
+    def test_mpki_pair_warns_but_matches_session(self):
+        from repro.experiments.common import mpki_pair
+
+        with pytest.warns(DeprecationWarning):
+            pair = mpki_pair("pi", SCALE, 1)
+        session = (
+            Session("pi", scale=SCALE, seed=1)
+            .predictors(*baseline_predictors())
+            .run()
+        )
+        assert (
+            pair["base"]["tournament"].stats.mpki
+            == session.predictor("tournament").mpki
+        )
+        assert pair["pbs"]["tournament"].stats.mpki < pair["base"]["tournament"].stats.mpki
+
+    def test_timed_matrix_warns_and_keeps_key_scheme(self):
+        from repro.experiments.common import timed_matrix
+
+        with pytest.warns(DeprecationWarning):
+            cores = timed_matrix("pi", SCALE, 1, four_wide)
+        assert set(cores) == {
+            "tournament", "tage-sc-l", "tournament+pbs", "tage-sc-l+pbs",
+        }
+        assert cores["tournament+pbs"].stats.ipc > cores["tournament"].stats.ipc
