@@ -11,7 +11,7 @@ from repro.branch import TageSCL, Tournament
 from repro.core import PBSEngine
 from repro.functional import Executor
 from repro.functional.executor import ProbGroup
-from repro.isa import F, ProgramBuilder, R
+from repro.isa import ProgramBuilder, R
 from repro.workloads import get_workload
 
 

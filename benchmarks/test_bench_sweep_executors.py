@@ -1,0 +1,47 @@
+"""Benchmarks for the Sweep execution/caching layer itself.
+
+These time the infrastructure the experiment benchmarks run on: a small
+grid pushed through each executor backend, and a fully warmed sharded
+cache replayed without simulation.  Tracking them in CI catches
+regressions in dispatch overhead and cache lookup cost, independently of
+the simulator's own speed.
+"""
+
+from conftest import run_once
+
+from repro.sim import Sweep, WorkerPoolExecutor
+
+GRID = dict(workloads=["pi"], seeds=(0, 1, 2, 3), modes=("base",))
+
+
+def test_sweep_serial_executor(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: Sweep(scales=(bench_scale,), **GRID).run(executor="serial"),
+    )
+    assert result.simulated == 4
+
+
+def test_sweep_worker_pool_executor(benchmark, bench_scale):
+    def sweep_twice_one_pool():
+        # Two batches through one persistent pool: the second pays no
+        # worker startup, which is the point of the backend.
+        with WorkerPoolExecutor(processes=2) as pool:
+            first = Sweep(scales=(bench_scale,), **GRID).run(executor=pool)
+            second = Sweep(
+                scales=(bench_scale,), seeds=(4, 5, 6, 7),
+                workloads=["pi"], modes=("base",),
+            ).run(executor=pool)
+        return first, second
+
+    first, second = run_once(benchmark, sweep_twice_one_pool)
+    assert first.simulated == second.simulated == 4
+
+
+def test_sweep_sharded_cache_replay(benchmark, bench_scale, tmp_path):
+    grid = Sweep(scales=(bench_scale,), cache_dir=tmp_path, **GRID)
+    grid.run()  # warm the cache outside the timed region
+
+    result = run_once(benchmark, lambda: grid.run())
+    assert result.simulated == 0
+    assert result.cache_hits == 4

@@ -15,7 +15,7 @@ wrappers over the Session API for external callers.
 from __future__ import annotations
 
 import warnings
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Sequence
 
 from ..sim import DEFAULT_SCALE, DEFAULT_SEED, FanOut, Session, baseline_predictors
 from ..sim.registry import get_workload, predictor_factory

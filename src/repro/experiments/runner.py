@@ -19,7 +19,14 @@ import json
 import sys
 import time
 
-from ..sim import DEFAULT_SCALE, DEFAULT_SEED, Sweep, predictor_names, workload_names
+from ..sim import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    Sweep,
+    executor_names,
+    predictor_names,
+    workload_names,
+)
 from . import (
     ablations,
     accuracy,
@@ -138,8 +145,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=1, help="worker processes"
     )
     sweep_parser.add_argument(
+        "--executor", choices=executor_names(), default=None,
+        help=(
+            "execution backend (default: throwaway process pool, "
+            "serial when --processes is 1)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--cache-dir", type=str, default=".pbs-cache",
         help="on-disk result cache (use '' to disable)",
+    )
+    sweep_parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed grid point to stderr",
+    )
+    sweep_parser.add_argument(
+        "--stats-json", type=str, default=None, metavar="PATH",
+        help=(
+            "write a machine-readable run summary (specs, simulated, "
+            "cache_hits, wall_time, executor) to PATH; '-' for stdout"
+        ),
     )
     sweep_parser.add_argument(
         "--json", action="store_true",
@@ -213,9 +238,33 @@ def _cmd_sweep(args) -> int:
         predictors=args.predictors,
         cache_dir=args.cache_dir or None,
     )
-    started = time.time()
-    results = sweep.run(processes=args.processes)
-    elapsed = time.time() - started
+    on_result = None
+    if args.progress:
+        total = len(sweep.specs())
+        done = {"count": 0}
+
+        def on_result(spec, result):
+            done["count"] += 1
+            origin = "cache" if result.cached else f"{result.wall_time:.1f}s"
+            print(
+                f"[{done['count']}/{total}] {spec.workload} "
+                f"scale={spec.scale:g} seed={spec.seed} {spec.mode} "
+                f"[{origin}]",
+                file=sys.stderr,
+            )
+
+    results = sweep.run(
+        processes=args.processes,
+        executor=args.executor,
+        on_result=on_result,
+    )
+    if args.stats_json:
+        payload = json.dumps(results.to_stats(), indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(payload)
+        else:
+            with open(args.stats_json, "w") as handle:
+                handle.write(payload + "\n")
     if args.json:
         print(json.dumps([result.to_dict() for result in results], indent=2))
     else:
@@ -232,7 +281,7 @@ def _cmd_sweep(args) -> int:
             )
     print(
         f"[{len(results)} runs: {results.simulated} simulated, "
-        f"{results.cache_hits} from cache, {elapsed:.1f}s]",
+        f"{results.cache_hits} from cache, {results.wall_time:.1f}s]",
         file=sys.stderr,
     )
     return 0
@@ -265,7 +314,12 @@ def main(argv=None) -> int:
         and any(token in artefacts for token in argv)
     ):
         argv.insert(0, "run")
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "stats_json", None) == "-" and getattr(args, "json", False):
+        # Both want stdout as one parseable document.
+        parser.error("--stats-json - cannot be combined with --json; "
+                     "write the stats to a file instead")
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "sweep":

@@ -5,8 +5,10 @@ One import gives everything a scenario needs:
 * :class:`Session` — a fluent builder for a single run (one benchmark
   interpretation fanned out to any number of predictors, timing cores
   and the PBS engine), returning a structured :class:`RunResult`;
-* :class:`Sweep` — parameter-grid execution over worker processes with
-  deterministic per-run seeding and an on-disk :class:`ResultCache`;
+* :class:`Sweep` — parameter-grid execution over pluggable
+  :class:`Executor` backends (serial, per-call process pool, or a
+  persistent :class:`WorkerPoolExecutor`) with deterministic per-run
+  seeding and an on-disk sharded :class:`ResultCache`;
 * :func:`register_workload` / :func:`register_predictor` — decorator
   registries through which benchmarks and predictors plug themselves in.
 
@@ -21,6 +23,16 @@ See ``docs/api.md`` for the full tour.
 """
 
 from .cache import CACHE_VERSION, ResultCache, spec_digest
+from .executors import (
+    EXECUTORS,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    WorkerPoolExecutor,
+    create_executor,
+    executor_names,
+    register_executor,
+)
 from .registry import (
     all_workloads,
     baseline_predictors,
@@ -41,6 +53,14 @@ __all__ = [
     "CACHE_VERSION",
     "ResultCache",
     "spec_digest",
+    "EXECUTORS",
+    "Executor",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "WorkerPoolExecutor",
+    "create_executor",
+    "executor_names",
+    "register_executor",
     "all_workloads",
     "baseline_predictors",
     "create_predictor",

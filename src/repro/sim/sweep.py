@@ -1,11 +1,13 @@
 """The :class:`Sweep` driver: parameter grids over :class:`Session` runs.
 
 A sweep expands ``{workload} x {scale} x {seed} x {mode}`` into
-picklable :class:`RunSpec` descriptions, executes them — serially or
-across ``multiprocessing`` workers — and memoizes completed runs in an
-on-disk :class:`~repro.sim.cache.ResultCache`.  Every run carries its own
-seed in its spec, so results are bit-identical regardless of worker count
-or execution order::
+picklable :class:`RunSpec` descriptions, executes them through a
+pluggable :class:`~repro.sim.executors.Executor` backend — serial,
+throwaway process pool, or a persistent worker pool reused across
+calls — and memoizes completed runs in an on-disk sharded
+:class:`~repro.sim.cache.ResultCache`.  Every run carries its own seed
+in its spec, so results are bit-identical regardless of backend, worker
+count or execution order::
 
     from repro.sim import Sweep
 
@@ -16,11 +18,15 @@ or execution order::
 
 from __future__ import annotations
 
-import multiprocessing
+import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache, spec_digest
+# _execute_spec moved to executors; re-imported so existing references
+# to repro.sim.sweep._execute_spec (and pickles of it) keep resolving.
+from .executors import Executor, create_executor
+from .executors import _execute_spec  # noqa: F401  (backwards compat)
 from .registry import baseline_predictors, workload_names
 from .results import RunResult
 from .session import DEFAULT_SCALE, DEFAULT_SEED, Session
@@ -99,19 +105,31 @@ class RunSpec:
         return session
 
 
-def _execute_spec(spec: RunSpec) -> RunResult:
-    """Worker entry point: run one spec (module-level for pickling)."""
-    return spec.session().run()
-
-
 class SweepResult:
     """Ordered run results with grid-coordinate lookup."""
 
     def __init__(self, results: List[RunResult], cache_hits: int = 0,
-                 simulated: int = 0):
+                 simulated: int = 0, wall_time: float = 0.0,
+                 executor: Optional[str] = None):
         self.results = results
         self.cache_hits = cache_hits
         self.simulated = simulated
+        self.wall_time = wall_time
+        self.executor = executor
+
+    def to_stats(self) -> Dict:
+        """Machine-readable run summary (the ``--stats-json`` contract).
+
+        ``executor`` names the backend that ran the pending specs, or
+        is ``None`` when everything came from the cache.
+        """
+        return {
+            "specs": len(self.results),
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "wall_time": self.wall_time,
+            "executor": self.executor,
+        }
 
     def __iter__(self):
         return iter(self.results)
@@ -203,7 +221,24 @@ class Sweep:
             for mode in self.modes
         ]
 
-    def run(self, processes: int = 1) -> SweepResult:
+    def run(
+        self,
+        processes: int = 1,
+        executor: Union[str, Executor, None] = None,
+        on_result: Optional[Callable[[RunSpec, RunResult], None]] = None,
+    ) -> SweepResult:
+        """Execute the grid, loading memoized points from the cache.
+
+        ``executor`` selects the execution backend: a registry name
+        (``"serial"``, ``"process"``, ``"pool"``), an :class:`Executor`
+        instance (kept open for reuse — e.g. one
+        :class:`~repro.sim.executors.WorkerPoolExecutor` across many
+        sweeps), or ``None`` for the historical default (a throwaway
+        process pool, serial when ``processes <= 1``).  ``on_result``
+        fires once per grid point — ``on_result(spec, result)`` — as
+        each result becomes available, cache hits first.
+        """
+        started = time.perf_counter()
         specs = self.specs()
         cache = ResultCache(self.cache_dir) if self.cache_dir else None
         results: List[Optional[RunResult]] = [None] * len(specs)
@@ -214,32 +249,39 @@ class Sweep:
                 hit = cache.get(spec.digest())
                 if hit is not None:
                     results[index] = hit
+                    if on_result is not None:
+                        on_result(spec, hit)
                     continue
             pending.append(index)
 
+        executor_name = None
         if pending:
             todo = [specs[index] for index in pending]
-            if processes > 1 and len(todo) > 1:
-                fresh = self._run_parallel(todo, processes)
-            else:
-                fresh = [_execute_spec(spec) for spec in todo]
+
+            def completed(batch_index, spec, result):
+                if cache is not None:
+                    cache.put(spec.digest(), result)
+                if on_result is not None:
+                    on_result(spec, result)
+
+            backend = create_executor(executor, processes)
+            executor_name = backend.name
+            try:
+                fresh = backend.map(todo, on_result=completed)
+            finally:
+                if not isinstance(executor, Executor):
+                    backend.close()  # throwaway backend owned by this call
+            if len(fresh) != len(todo):
+                raise RuntimeError(
+                    f"executor {backend.name!r} returned {len(fresh)} "
+                    f"results for {len(todo)} specs"
+                )
             for index, result in zip(pending, fresh):
                 results[index] = result
-                if cache is not None:
-                    cache.put(specs[index].digest(), result)
 
         return SweepResult(
             results, cache_hits=len(specs) - len(pending),
             simulated=len(pending),
+            wall_time=time.perf_counter() - started,
+            executor=executor_name,
         )
-
-    @staticmethod
-    def _run_parallel(specs: List[RunSpec], processes: int) -> List[RunResult]:
-        # Prefer fork: workers inherit the interpreter state (registries,
-        # sys.path) without re-importing __main__, and start instantly.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        with context.Pool(min(processes, len(specs))) as pool:
-            return pool.map(_execute_spec, specs)

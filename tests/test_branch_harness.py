@@ -5,7 +5,6 @@ from repro.branch import (
     AlwaysTaken,
     BranchStats,
     PerfectPredictor,
-    PredictorHarness,
     measure_mpki,
 )
 from repro.functional.trace import ProbMode, TraceEvent

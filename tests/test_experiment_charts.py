@@ -17,8 +17,8 @@ class TestBarChart:
 
     def test_bar_length_proportional(self):
         text = bar_chart(["a", "b"], {"x": [1.0, 2.0]}, width=10)
-        lines = [l for l in text.splitlines() if "#" in l]
-        short, long = (l.count("#") for l in lines)
+        lines = [line for line in text.splitlines() if "#" in line]
+        short, long = (line.count("#") for line in lines)
         assert long == 2 * short
 
     def test_negative_values_marked(self):

@@ -9,7 +9,6 @@ from repro.isa.encoding import (
     WORD_BITS,
     EncodingError,
     decode_program,
-    encode_instruction,
     encode_program,
 )
 from repro.workloads import all_workloads
