@@ -36,6 +36,7 @@ setup(
     entry_points={
         "console_scripts": [
             "pbs-experiments = repro.experiments.runner:main",
+            "repro-worker = repro.sim.remote:worker_main",
         ],
     },
     classifiers=[

@@ -7,9 +7,10 @@ goes through :mod:`repro.sim` — a :class:`~repro.sim.Session` interprets
 each benchmark once and fans the trace out to all consumers; the
 experiments are thin, declarative sweeps over it.
 
-The old helpers (:func:`mpki_pair`, :func:`timed_matrix`,
-:func:`run_workload`, :func:`predictor_factories`) remain as deprecated
-wrappers over the Session API for external callers.
+The old helpers (:func:`run_workload`, :func:`predictor_factories`)
+remain as deprecated wrappers over the Session API for external callers;
+``mpki_pair`` and ``timed_matrix`` have been removed — use
+:class:`repro.sim.Session` (with ``.timing()`` for the latter) instead.
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from __future__ import annotations
 import warnings
 from typing import Callable, Dict, Iterable, List, Sequence
 
-from ..sim import DEFAULT_SCALE, DEFAULT_SEED, FanOut, Session, baseline_predictors
+from ..sim import DEFAULT_SCALE, DEFAULT_SEED, FanOut, baseline_predictors
 from ..sim.registry import get_workload, predictor_factory
 
 __all__ = [
@@ -26,10 +27,8 @@ __all__ = [
     "ExperimentResult",
     "MultiSink",
     "geometric_mean",
-    "mpki_pair",
     "predictor_factories",
     "run_workload",
-    "timed_matrix",
 ]
 
 #: Legacy alias — the fan-out sink now lives in :mod:`repro.sim`.
@@ -80,65 +79,6 @@ def run_workload(
         sink=sink,
         record_consumed=record_consumed,
     )
-
-
-def mpki_pair(
-    name: str,
-    scale: float,
-    seed: int,
-    pbs_config=None,
-):
-    """Baseline and PBS MPKI for both predictors, two interpreter passes.
-
-    .. deprecated:: use :class:`repro.sim.Session` directly.
-    """
-    warnings.warn(
-        "mpki_pair is deprecated; use repro.sim.Session instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    results = {}
-    for mode in ("base", "pbs"):
-        session = Session(name, scale=scale, seed=seed)
-        session.predictors(*baseline_predictors())
-        if mode == "pbs":
-            session.pbs(pbs_config if pbs_config is not None else True)
-        session.run()
-        results[mode] = dict(session.harnesses)
-    return results
-
-
-def timed_matrix(
-    name: str,
-    scale: float,
-    seed: int,
-    core_config_factory,
-    pbs_config=None,
-):
-    """IPC for the paper's four configurations on one core design.
-
-    Returns cores keyed ``tournament``, ``tage-sc-l``, ``tournament+pbs``,
-    ``tage-sc-l+pbs`` — the exact bar groups of Figures 7 and 8.
-
-    .. deprecated:: use :class:`repro.sim.Session` with ``.timing()``.
-    """
-    warnings.warn(
-        "timed_matrix is deprecated; use repro.sim.Session.timing instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    cores = {}
-    for mode in ("base", "pbs"):
-        session = Session(name, scale=scale, seed=seed)
-        session.predictors(*baseline_predictors())
-        session.timing(core_config_factory)
-        if mode == "pbs":
-            session.pbs(pbs_config if pbs_config is not None else True)
-        session.run()
-        for pname, core in session.cores.items():
-            key = pname if mode == "base" else f"{pname}+pbs"
-            cores[key] = core
-    return cores
 
 
 # ----------------------------------------------------------------------

@@ -56,7 +56,7 @@ EXPERIMENTS = {
 
 
 def _csv(text):
-    return [item for item in text.split(",") if item]
+    return [item.strip() for item in text.split(",") if item.strip()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "execution backend (default: throwaway process pool, "
             "serial when --processes is 1)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--workers", type=_csv, default=None, metavar="HOST:PORT,...",
+        help=(
+            "repro-worker addresses for --executor remote "
+            "(default: the REPRO_WORKERS environment variable)"
         ),
     )
     sweep_parser.add_argument(
@@ -253,11 +260,33 @@ def _cmd_sweep(args) -> int:
                 file=sys.stderr,
             )
 
-    results = sweep.run(
-        processes=args.processes,
-        executor=args.executor,
-        on_result=on_result,
-    )
+    executor = args.executor
+    owned = None
+    if args.workers or executor == "remote":
+        if executor not in (None, "remote"):
+            raise SystemExit(
+                f"--workers only applies to --executor remote, not {executor!r}"
+            )
+        from ..sim import RemoteExecutor
+
+        try:
+            owned = executor = RemoteExecutor(workers=args.workers)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    try:
+        results = sweep.run(
+            processes=args.processes,
+            executor=executor,
+            on_result=on_result,
+        )
+    finally:
+        if owned is not None:
+            owned.close()
+            if args.progress:
+                for address, stats in sorted(owned.telemetry.items()):
+                    print(f"[worker {address}] " + "  ".join(
+                        f"{key}={value}" for key, value in stats.items()
+                    ), file=sys.stderr)
     if args.stats_json:
         payload = json.dumps(results.to_stats(), indent=2, sort_keys=True)
         if args.stats_json == "-":

@@ -6,9 +6,11 @@ One import gives everything a scenario needs:
   interpretation fanned out to any number of predictors, timing cores
   and the PBS engine), returning a structured :class:`RunResult`;
 * :class:`Sweep` — parameter-grid execution over pluggable
-  :class:`Executor` backends (serial, per-call process pool, or a
-  persistent :class:`WorkerPoolExecutor`) with deterministic per-run
-  seeding and an on-disk sharded :class:`ResultCache`;
+  :class:`Executor` backends (serial, per-call process pool, a
+  persistent :class:`WorkerPoolExecutor`, or the distributed
+  :class:`RemoteExecutor` speaking to ``repro-worker`` daemons) with
+  deterministic per-run seeding and an on-disk sharded
+  :class:`ResultCache`;
 * :func:`register_workload` / :func:`register_predictor` — decorator
   registries through which benchmarks and predictors plug themselves in.
 
@@ -32,6 +34,14 @@ from .executors import (
     create_executor,
     executor_names,
     register_executor,
+)
+from .remote import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteExecutor,
+    WorkerServer,
+    decode_frame,
+    encode_frame,
 )
 from .registry import (
     all_workloads,
@@ -61,6 +71,12 @@ __all__ = [
     "create_executor",
     "executor_names",
     "register_executor",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteExecutor",
+    "WorkerServer",
+    "decode_frame",
+    "encode_frame",
     "all_workloads",
     "baseline_predictors",
     "create_predictor",

@@ -12,6 +12,10 @@ ship with the package:
   workers steal the next spec, and reports per-spec completion through
   an optional callback.
 
+A fourth, the distributed :class:`~repro.sim.remote.RemoteExecutor`
+(``"remote"``), lives in :mod:`repro.sim.remote` alongside its wire
+protocol and the ``repro-worker`` daemon.
+
 All executors honour the same contract: ``map(specs, on_result=None)``
 returns results **in spec order**, regardless of completion order, and
 ``on_result(index, spec, result)`` fires once per spec as its result
@@ -110,6 +114,7 @@ def executor_names() -> List[str]:
 def create_executor(
     executor: Union[str, Executor, None],
     processes: int = 1,
+    **options,
 ) -> Executor:
     """Resolve a ``Sweep.run`` executor argument to an instance.
 
@@ -117,7 +122,9 @@ def create_executor(
     that degrades to serial execution when ``processes <= 1`` or the
     batch has a single spec.  A string is looked up in the registry; an
     :class:`Executor` instance passes through untouched (the caller
-    keeps ownership and must ``close()`` it).
+    keeps ownership and must ``close()`` it).  Extra keyword ``options``
+    are forwarded to the backend constructor (e.g. ``workers=[...]`` for
+    the ``remote`` backend).
     """
     if isinstance(executor, Executor):
         return executor
@@ -130,7 +137,7 @@ def create_executor(
         raise KeyError(
             f"unknown executor {executor!r}; registered backends: {known}"
         ) from None
-    return cls(processes=processes)
+    return cls(processes=processes, **options)
 
 
 @register_executor("serial")

@@ -1,0 +1,854 @@
+"""Distributed sweep execution: wire protocol, worker daemon, client.
+
+This module crosses the machine boundary for :class:`~repro.sim.sweep.Sweep`
+grids.  Three pieces ship together:
+
+* **Wire protocol** — newline-delimited JSON frames (one message object
+  per line, ``\\n``-terminated) over a plain TCP socket.  Every frame is
+  a dict with a ``"type"`` key; :func:`encode_frame` / :func:`decode_frame`
+  are the only codec.  A connection opens with a handshake that
+  negotiates the protocol version *and* the cache/digest version, so a
+  client and worker that would compute different spec digests refuse to
+  talk instead of silently polluting each other's caches.
+
+* **Worker daemon** — :class:`WorkerServer`, exposed on the command line
+  as ``repro-worker --listen host:port --processes N --cache-dir ...``.
+  It accepts any number of client connections, pulls ``run`` frames,
+  simulates each spec with the existing Session machinery (inline for
+  ``--processes 1``, through a shared multiprocessing pool otherwise),
+  answers warm requests straight from its sharded
+  :class:`~repro.sim.cache.ResultCache`, and streams ``result`` frames
+  back as they complete.
+
+* **Client** — :class:`RemoteExecutor`, registered as ``"remote"``.  It
+  fans a batch of specs out over one or more worker addresses with
+  work-stealing dispatch (one shared queue; each connection pipelines a
+  small window and takes the next spec the moment one completes),
+  reconnects on transport errors, and falls failed specs back to the
+  remaining workers.  Because every spec carries its own seed, results
+  are bit-identical to the ``serial`` backend.
+
+Message frames
+--------------
+
+===========  ==============================================================
+``hello``    handshake; carries ``protocol``, ``cache_version`` and (from
+             the worker) ``processes``
+``run``      ``{"id": n, "spec": RunSpec.to_dict(), "digest": sha256}``
+``result``   ``{"id": n, "result": RunResult.to_dict(), "cached": bool}``
+``error``    ``{"message": str}`` plus ``"id"`` when tied to one spec
+``ping``     liveness probe; answered with ``pong``
+``bye``      clean client shutdown
+===========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import socketserver
+import sys
+import threading
+import time
+from collections import deque
+from queue import Empty, Queue
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .cache import CACHE_VERSION, ResultCache
+from .executors import Executor, _execute_spec, _pool_context, register_executor
+from .results import RunResult
+from .sweep import RunSpec
+
+#: Bump on incompatible frame/handshake changes.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame; anything larger is treated as corrupt.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+DEFAULT_PORT = 7340
+
+#: Environment variable consulted when no worker addresses are given
+#: (``Sweep.run(executor="remote")`` with zero plumbing).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+class ProtocolError(Exception):
+    """A malformed, truncated or protocol-violating frame."""
+
+
+# ----------------------------------------------------------------------
+# Framing.
+# ----------------------------------------------------------------------
+
+def encode_frame(message: Dict) -> bytes:
+    """One message -> one ``\\n``-terminated JSON line.
+
+    ``ensure_ascii`` keeps every byte printable, so a frame can never
+    contain an embedded newline and the framing stays unambiguous.
+    """
+    raw = json.dumps(message, separators=(",", ":")).encode("ascii") + b"\n"
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(raw)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return raw
+
+
+def decode_frame(raw: bytes) -> Dict:
+    """The inverse of :func:`encode_frame`, rejecting anything dubious."""
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(raw)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    if not raw.endswith(b"\n"):
+        raise ProtocolError("truncated frame: missing newline terminator")
+    try:
+        message = json.loads(raw)
+    except ValueError as exc:
+        raise ProtocolError(f"corrupt frame: {exc}") from None
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise ProtocolError("frame is not a message object with a 'type'")
+    return message
+
+
+def _read_frame(rfile) -> Optional[Dict]:
+    """Next frame from a buffered reader; ``None`` on clean EOF."""
+    line = rfile.readline(MAX_FRAME_BYTES + 1)
+    if not line:
+        return None
+    return decode_frame(line)
+
+
+def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """``"host:port"`` (or a ready tuple) -> ``(host, port)``.
+
+    Whitespace around either part is forgiven — ``"a:7340, b:7340"``
+    split on commas must not produce a host named ``" b"``.
+    """
+    if isinstance(address, tuple):
+        return address[0].strip(), int(address[1])
+    host, _, port = address.strip().rpartition(":")
+    if not host:
+        host, port = address, str(DEFAULT_PORT)
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"bad worker address {address!r}; want host:port") from None
+
+
+# ----------------------------------------------------------------------
+# Worker daemon.
+# ----------------------------------------------------------------------
+
+class _WorkerTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    owner: "WorkerServer"
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: handshake, then a run/result stream."""
+
+    def handle(self):
+        worker: WorkerServer = self.server.owner
+        write_lock = threading.Lock()
+        worker._track(self.connection, add=True)
+        try:
+            self._send(write_lock, {
+                "type": "hello",
+                "protocol": worker.protocol_version,
+                "cache_version": worker.cache_version,
+                "processes": worker.processes,
+                "server": "repro-worker",
+            })
+            reply = _read_frame(self.rfile)
+            if reply is None:
+                return
+            if (
+                reply.get("type") != "hello"
+                or reply.get("protocol") != worker.protocol_version
+                or reply.get("cache_version") != worker.cache_version
+            ):
+                self._send(write_lock, {
+                    "type": "error",
+                    "message": (
+                        "handshake rejected: worker speaks protocol "
+                        f"{worker.protocol_version} / cache v{worker.cache_version}, "
+                        f"client sent {reply!r}"
+                    ),
+                })
+                return
+            while True:
+                try:
+                    message = _read_frame(self.rfile)
+                except ProtocolError as exc:
+                    # Corrupt stream: tell the client why, then drop the
+                    # connection — it will retry the spec elsewhere.
+                    self._send(write_lock, {"type": "error", "message": str(exc)})
+                    return
+                if message is None or message["type"] == "bye":
+                    return
+                if message["type"] == "ping":
+                    self._send(write_lock, {"type": "pong"})
+                    continue
+                if message["type"] != "run":
+                    self._send(write_lock, {
+                        "type": "error",
+                        "message": f"unexpected frame type {message['type']!r}",
+                    })
+                    return
+                if not worker._note_request():
+                    return  # fail_after test hook fired: simulate a crash
+                self._handle_run(write_lock, message)
+        except (OSError, ValueError):
+            pass  # connection torn down under us; nothing to salvage
+        finally:
+            worker._track(self.connection, add=False)
+
+    # -- pieces ---------------------------------------------------------
+
+    def _send(self, write_lock, message: Dict) -> None:
+        payload = encode_frame(message)
+        with write_lock:
+            self.wfile.write(payload)
+            self.wfile.flush()
+
+    def _send_quietly(self, write_lock, message: Dict) -> None:
+        """Send from a pool callback, where the client may already be gone."""
+        try:
+            self._send(write_lock, message)
+        except (OSError, ValueError):
+            pass
+
+    def _handle_run(self, write_lock, message: Dict) -> None:
+        worker: WorkerServer = self.server.owner
+        run_id = message.get("id")
+        try:
+            spec = RunSpec.from_dict(message["spec"])
+        except Exception as exc:
+            self._send(write_lock, {
+                "type": "error", "id": run_id,
+                "message": f"undecodable spec: {exc}",
+            })
+            return
+        digest = spec.digest()
+        claimed = message.get("digest")
+        if claimed is not None and claimed != digest:
+            self._send(write_lock, {
+                "type": "error", "id": run_id,
+                "message": (
+                    f"digest mismatch: client says {claimed}, worker computes "
+                    f"{digest} — incompatible spec encodings"
+                ),
+            })
+            return
+        if worker.cache is not None:
+            hit = worker.cache.get(digest)
+            if hit is not None:
+                worker._log(f"cache hit {spec.workload} seed={spec.seed} {spec.mode}")
+                self._send(write_lock, {
+                    "type": "result", "id": run_id,
+                    "result": hit.to_dict(), "cached": True,
+                })
+                return
+
+        def deliver(result: RunResult) -> None:
+            if worker.cache is not None:
+                worker.cache.put(digest, result)
+            worker._log(
+                f"ran {spec.workload} scale={spec.scale:g} seed={spec.seed} "
+                f"{spec.mode} in {result.wall_time:.2f}s"
+            )
+            self._send_quietly(write_lock, {
+                "type": "result", "id": run_id,
+                "result": result.to_dict(), "cached": False,
+            })
+
+        def failed(exc: BaseException) -> None:
+            self._send_quietly(write_lock, {
+                "type": "error", "id": run_id,
+                "message": f"simulation failed: {exc!r}",
+            })
+
+        if worker.processes <= 1:
+            try:
+                result = _execute_spec(spec)
+            except Exception as exc:
+                failed(exc)
+                return
+            deliver(result)
+        else:
+            worker.pool.apply_async(
+                _execute_spec, (spec,),
+                callback=deliver, error_callback=failed,
+            )
+
+
+class WorkerServer:
+    """A ``repro-worker`` daemon, embeddable in-process for tests.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`address`).  ``processes <= 1`` simulates inline in the
+    connection thread; larger values share one multiprocessing pool
+    across all connections.  With ``cache_dir`` set, the worker answers
+    warm specs from its sharded :class:`ResultCache` without
+    re-simulating.  ``fail_after=N`` is a **test hook**: the worker
+    drops every connection and stops accepting after its N-th ``run``
+    request, simulating a worker killed mid-grid.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        processes: int = 1,
+        cache_dir: Optional[str] = None,
+        fail_after: Optional[int] = None,
+        verbose: bool = False,
+        protocol_version: int = PROTOCOL_VERSION,
+        cache_version: int = CACHE_VERSION,
+    ):
+        self.processes = processes
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.fail_after = fail_after
+        self.verbose = verbose
+        self.protocol_version = protocol_version
+        self.cache_version = cache_version
+        self.requests = 0
+        self._pool = None
+        self._lock = threading.Lock()
+        self._connections: set = set()
+        self._server = _WorkerTCPServer((host, port), _ConnectionHandler)
+        self._server.owner = self
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def address_string(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    @property
+    def pool(self):
+        with self._lock:
+            if self._pool is None:
+                self._pool = _pool_context().Pool(self.processes)
+            return self._pool
+
+    def start(self) -> "WorkerServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+            name=f"repro-worker:{self.address_string}",
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self._server.serve_forever(poll_interval=0.2)
+
+    def stop(self, force: bool = False) -> None:
+        """Stop accepting connections and shut down.
+
+        ``force=True`` additionally severs live connections mid-frame —
+        the programmatic equivalent of ``kill -9`` on the daemon, used
+        to exercise client-side rescheduling.
+        """
+        if force:
+            with self._lock:
+                victims = list(self._connections)
+            for conn in victims:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    # -- handler support ------------------------------------------------
+
+    def _track(self, conn, add: bool) -> None:
+        with self._lock:
+            if add:
+                self._connections.add(conn)
+            else:
+                self._connections.discard(conn)
+
+    def _note_request(self) -> bool:
+        """Count a run request; False when the fail_after hook trips."""
+        with self._lock:
+            self.requests += 1
+            tripped = (
+                self.fail_after is not None and self.requests > self.fail_after
+            )
+        if tripped:
+            # Stop synchronously (we are on a handler thread, not the
+            # accept loop) so the listener is gone before the client can
+            # burn spec retries against a half-dead worker.
+            self.stop(force=True)
+            return False
+        return True
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[repro-worker {self.address_string}] {message}",
+                  file=sys.stderr, flush=True)
+
+
+def worker_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-worker`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description=(
+            "Simulation worker daemon: accepts RunSpec frames from "
+            "RemoteExecutor clients and streams RunResults back"
+        ),
+    )
+    parser.add_argument(
+        "--listen", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="HOST:PORT",
+        help=f"address to bind (default 127.0.0.1:{DEFAULT_PORT}; port 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=1, metavar="N",
+        help="concurrent simulations (1 = inline in the connection thread)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="sharded result cache; warm specs are answered from disk",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per served request to stderr",
+    )
+    args = parser.parse_args(argv)
+    host, port = parse_address(args.listen)
+    server = WorkerServer(
+        host=host, port=port, processes=args.processes,
+        cache_dir=args.cache_dir, verbose=args.verbose,
+    )
+    print(
+        f"repro-worker listening on {server.address_string} "
+        f"(protocol v{PROTOCOL_VERSION}, cache v{CACHE_VERSION}, "
+        f"processes={args.processes})",
+        file=sys.stderr, flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-worker: interrupted, shutting down",
+              file=sys.stderr, flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Client: the "remote" executor.
+# ----------------------------------------------------------------------
+
+class _FatalWorkerError(Exception):
+    """This worker can never serve us (e.g. protocol mismatch) — do not
+    reconnect, but let the other workers keep draining the queue."""
+
+
+class _Dispatch:
+    """Shared work-stealing state between one map() call's client threads."""
+
+    def __init__(self, specs: Sequence[RunSpec], max_attempts: int):
+        self.cond = threading.Condition()
+        self.pending = deque((i, spec, 0) for i, spec in enumerate(specs))
+        self.remaining = len(specs)
+        self.max_attempts = max_attempts
+        self.failure: Optional[str] = None
+        self.worker_notes: Dict[str, str] = {}
+        self.done_queue: Queue = Queue()
+        self.live_workers = 0
+
+    def stopped(self) -> bool:
+        return self.failure is not None or self.remaining == 0
+
+    def take_nowait(self):
+        with self.cond:
+            if self.stopped() or not self.pending:
+                return None
+            return self.pending.popleft()
+
+    def take(self):
+        """Next work item, waiting for requeues; None when dispatch ends."""
+        with self.cond:
+            while True:
+                if self.stopped():
+                    return None
+                if self.pending:
+                    return self.pending.popleft()
+                self.cond.wait(0.05)
+
+    def requeue(self, items, reason: str) -> int:
+        """Put dropped in-flight items back; give up past max_attempts."""
+        requeued = 0
+        with self.cond:
+            for index, spec, attempts in items:
+                attempts += 1
+                if attempts >= self.max_attempts:
+                    self.failure = (
+                        f"spec #{index} ({spec.workload!r} seed={spec.seed} "
+                        f"{spec.mode}) failed {attempts} times; last error: "
+                        f"{reason}"
+                    )
+                else:
+                    self.pending.append((index, spec, attempts))
+                    requeued += 1
+            self.cond.notify_all()
+        return requeued
+
+    def complete(self, index: int, spec: RunSpec, result: RunResult) -> None:
+        with self.cond:
+            self.remaining -= 1
+            self.cond.notify_all()
+        self.done_queue.put((index, spec, result))
+
+    def abort(self, reason: str) -> None:
+        with self.cond:
+            if self.failure is None:
+                self.failure = reason
+            self.cond.notify_all()
+
+    def note_worker(self, address: str, note: str) -> None:
+        with self.cond:
+            self.worker_notes[address] = note
+
+    def worker_started(self) -> None:
+        with self.cond:
+            self.live_workers += 1
+
+    def worker_exited(self) -> None:
+        with self.cond:
+            self.live_workers -= 1
+            self.cond.notify_all()
+
+
+class _WorkerClient(threading.Thread):
+    """One connection (plus reconnects) to one worker address."""
+
+    def __init__(self, state: _Dispatch, address: Tuple[str, int],
+                 executor: "RemoteExecutor"):
+        super().__init__(daemon=True, name=f"remote-client:{address[0]}:{address[1]}")
+        self.state = state
+        self.address = address
+        self.executor = executor
+        self.label = f"{address[0]}:{address[1]}"
+        self.inflight: Dict[int, Tuple[int, RunSpec, int]] = {}
+        self.stats = {
+            "dispatched": 0, "completed": 0, "cache_hits": 0,
+            "requeued": 0, "reconnects": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def run(self):
+        self.state.worker_started()
+        attempts_left = self.executor.reconnect_attempts
+        try:
+            while not self.state.stopped():
+                sock = self._connect()
+                if sock is None:
+                    self.state.note_worker(self.label, "unreachable")
+                    return
+                try:
+                    self._serve(sock)
+                    return  # clean drain: dispatch finished
+                except _FatalWorkerError as exc:
+                    self.state.note_worker(self.label, str(exc))
+                    return
+                except (OSError, ProtocolError) as exc:
+                    self._drop_inflight(f"{type(exc).__name__}: {exc}")
+                    self.stats["reconnects"] += 1
+                    self.state.note_worker(
+                        self.label, f"connection lost: {exc}"
+                    )
+                    attempts_left -= 1
+                    if attempts_left < 0:
+                        return
+                    time.sleep(self.executor.reconnect_delay)
+                finally:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+        finally:
+            self._drop_inflight("client thread exited")
+            self.state.worker_exited()
+
+    def _connect(self) -> Optional[socket.socket]:
+        delay = self.executor.reconnect_delay
+        for attempt in range(self.executor.connect_attempts):
+            if self.state.stopped():
+                return None
+            try:
+                return socket.create_connection(
+                    self.address, timeout=self.executor.timeout
+                )
+            except OSError:
+                if attempt + 1 < self.executor.connect_attempts:
+                    time.sleep(delay)
+                    delay = min(delay * 2, 1.0)
+        return None
+
+    def _drop_inflight(self, reason: str) -> None:
+        dropped, self.inflight = self.inflight, {}
+        if dropped:
+            self.stats["requeued"] += len(dropped)
+            self.state.requeue(dropped.values(), reason)
+
+    # -- the protocol conversation --------------------------------------
+
+    def _serve(self, sock: socket.socket) -> None:
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        window = self._handshake(rfile, wfile)
+        next_id = self.stats["dispatched"]  # unique per thread lifetime
+        while True:
+            # Keep the pipeline full: one frame per free window slot.
+            while len(self.inflight) < window:
+                item = self.state.take_nowait()
+                if item is None:
+                    break
+                next_id += 1
+                self._send_run(wfile, next_id, item)
+            if not self.inflight:
+                item = self.state.take()  # blocks for requeues
+                if item is None:
+                    self._send_bye(wfile)
+                    return
+                next_id += 1
+                self._send_run(wfile, next_id, item)
+            self._receive_one(rfile)
+
+    def _handshake(self, rfile, wfile) -> int:
+        hello = _read_frame(rfile)
+        if hello is None:
+            raise ProtocolError("worker closed the connection before hello")
+        if hello.get("type") == "error":
+            raise _FatalWorkerError(hello.get("message", "worker refused us"))
+        if hello.get("type") != "hello":
+            raise ProtocolError(f"expected hello, got {hello.get('type')!r}")
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            raise _FatalWorkerError(
+                f"protocol version mismatch: worker speaks "
+                f"{hello.get('protocol')!r}, client speaks {PROTOCOL_VERSION}"
+            )
+        if hello.get("cache_version") != CACHE_VERSION:
+            raise _FatalWorkerError(
+                f"cache version mismatch: worker digests with "
+                f"v{hello.get('cache_version')!r}, client with v{CACHE_VERSION}"
+            )
+        wfile.write(encode_frame({
+            "type": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "cache_version": CACHE_VERSION,
+            "client": "repro-remote-executor",
+        }))
+        wfile.flush()
+        try:
+            advertised = int(hello.get("processes") or 1)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed hello frame: {exc!r}") from None
+        return max(1, min(advertised * 2, 32))
+
+    def _send_run(self, wfile, run_id: int, item) -> None:
+        index, spec, attempts = item
+        self.inflight[run_id] = item
+        self.stats["dispatched"] += 1
+        wfile.write(encode_frame({
+            "type": "run",
+            "id": run_id,
+            "spec": spec.to_dict(),
+            "digest": spec.digest(),
+        }))
+        wfile.flush()
+
+    def _send_bye(self, wfile) -> None:
+        try:
+            wfile.write(encode_frame({"type": "bye"}))
+            wfile.flush()
+        except (OSError, ValueError):
+            pass  # the work is done; a lost goodbye costs nothing
+
+    def _receive_one(self, rfile) -> None:
+        message = _read_frame(rfile)
+        if message is None:
+            raise ProtocolError("worker closed the connection mid-batch")
+        kind = message["type"]
+        if kind == "result":
+            run_id = message.get("id")
+            item = self.inflight.get(run_id)
+            if item is None:
+                raise ProtocolError(f"result for unknown run id {run_id!r}")
+            index, spec, attempts = item
+            try:
+                result = RunResult.from_dict(message["result"])
+            except (KeyError, TypeError, ValueError) as exc:
+                # Well-formed JSON, ill-formed payload (version-skewed
+                # worker?).  The spec is still in ``inflight``, so the
+                # connection drop triggered by this error requeues it.
+                raise ProtocolError(f"malformed result frame: {exc!r}") from None
+            self.inflight.pop(run_id)
+            result.cached = bool(message.get("cached"))
+            self.stats["completed"] += 1
+            if result.cached:
+                self.stats["cache_hits"] += 1
+            self.state.complete(index, spec, result)
+        elif kind == "error":
+            run_id = message.get("id")
+            reason = message.get("message", "unspecified worker error")
+            if run_id is None:
+                raise ProtocolError(f"worker error: {reason}")
+            item = self.inflight.pop(run_id, None)
+            if item is not None:
+                self.stats["requeued"] += 1
+                self.state.requeue([item], reason)
+        elif kind == "pong":
+            pass
+        else:
+            raise ProtocolError(f"unexpected frame type {kind!r}")
+
+
+@register_executor("remote")
+class RemoteExecutor(Executor):
+    """Fan a spec batch out to ``repro-worker`` daemons over TCP.
+
+    ``workers`` is a list of ``"host:port"`` strings (or ``(host, port)``
+    tuples); when omitted, the ``REPRO_WORKERS`` environment variable
+    supplies a comma-separated list — which is what lets a plain
+    ``Sweep.run(executor="remote")`` work with no extra plumbing.
+
+    Dispatch is work-stealing: all connections pull from one shared
+    queue, each pipelining up to twice the worker's advertised process
+    count.  A worker that dies mid-batch has its in-flight specs
+    requeued for the remaining workers and is reconnected with backoff;
+    a spec that keeps failing (``max_attempts``) aborts the batch with
+    the underlying error.  Per-worker telemetry lands in
+    :attr:`telemetry` after each ``map()``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
+        processes: int = 1,
+        timeout: float = 300.0,
+        connect_attempts: int = 5,
+        reconnect_attempts: int = 2,
+        reconnect_delay: float = 0.05,
+        max_attempts: int = 3,
+    ):
+        del processes  # width lives on the workers, not the client
+        if workers is None:
+            configured = os.environ.get(WORKERS_ENV, "")
+            workers = [
+                part.strip() for part in configured.split(",") if part.strip()
+            ]
+        if not workers:
+            raise ValueError(
+                "RemoteExecutor needs worker addresses: pass workers=[...] "
+                f"or set {WORKERS_ENV}=host:port,host:port"
+            )
+        self.workers = [parse_address(worker) for worker in workers]
+        self.timeout = timeout
+        self.connect_attempts = connect_attempts
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay = reconnect_delay
+        self.max_attempts = max_attempts
+        self.batches = 0
+        self.dispatched = 0
+        self.completed = 0
+        #: address -> counters from the most recent ``map()`` call.
+        self.telemetry: Dict[str, Dict[str, int]] = {}
+
+    def map(self, specs, on_result=None):
+        specs = list(specs)
+        if not specs:
+            return []
+        self.batches += 1
+        self.dispatched += len(specs)
+        state = _Dispatch(specs, max_attempts=self.max_attempts)
+        clients = [
+            _WorkerClient(state, address, self) for address in self.workers
+        ]
+        for client in clients:
+            client.start()
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        try:
+            filled = 0
+            while filled < len(specs):
+                if state.failure is not None:
+                    break
+                if not any(client.is_alive() for client in clients):
+                    # Late completions may still sit in the queue; drain
+                    # below decides whether this is actually a failure.
+                    if state.done_queue.empty():
+                        break
+                try:
+                    index, spec, result = state.done_queue.get(timeout=0.05)
+                except Empty:
+                    continue
+                results[index] = result
+                filled += 1
+                self.completed += 1
+                if on_result is not None:
+                    on_result(index, spec, result)
+        finally:
+            failure = state.failure
+            state.abort("dispatch loop exited")
+            for client in clients:
+                client.join(timeout=self.timeout)
+            self.telemetry = {
+                client.label: dict(client.stats) for client in clients
+            }
+        while True:  # completions that raced the loop exit
+            try:
+                index, spec, result = state.done_queue.get_nowait()
+            except Empty:
+                break
+            if results[index] is None:
+                results[index] = result
+                self.completed += 1
+                if on_result is not None:
+                    on_result(index, spec, result)
+        missing = [index for index, result in enumerate(results) if result is None]
+        if missing:
+            notes = "; ".join(
+                f"{address}: {note}"
+                for address, note in sorted(state.worker_notes.items())
+            ) or "no worker diagnostics"
+            reason = failure or f"all workers exited ({notes})"
+            raise RuntimeError(
+                f"remote executor finished {len(specs) - len(missing)}/"
+                f"{len(specs)} specs: {reason}"
+            )
+        return results
+
+
+if __name__ == "__main__":  # pragma: no cover — `python -m repro.sim.remote`
+    sys.exit(worker_main())

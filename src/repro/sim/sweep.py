@@ -72,6 +72,21 @@ class RunSpec:
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (the remote wire encoding)."""
+        data = asdict(self)
+        data["predictors"] = list(self.predictors)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. a decoded
+        wire frame).  Unknown keys are rejected, so a worker running a
+        newer schema fails loudly instead of silently dropping fields."""
+        data = dict(data)
+        data["predictors"] = tuple(data.get("predictors") or ())
+        return cls(**data)
+
     def cache_key(self) -> Dict:
         return {
             "workload": self.workload,
@@ -230,7 +245,9 @@ class Sweep:
         """Execute the grid, loading memoized points from the cache.
 
         ``executor`` selects the execution backend: a registry name
-        (``"serial"``, ``"process"``, ``"pool"``), an :class:`Executor`
+        (``"serial"``, ``"process"``, ``"pool"``, ``"remote"`` — the
+        latter reading worker addresses from ``$REPRO_WORKERS``), an
+        :class:`Executor`
         instance (kept open for reuse — e.g. one
         :class:`~repro.sim.executors.WorkerPoolExecutor` across many
         sweeps), or ``None`` for the historical default (a throwaway

@@ -1,0 +1,76 @@
+"""The golden-result regression corpus.
+
+``tests/golden/`` holds checked-in canonical :class:`RunResult` JSON
+fixtures for a small, fixed-seed, representative workload × predictor
+grid.  Every registered executor backend — including ``remote``, driven
+against an in-process worker — is replayed against these fixtures and
+must reproduce them **byte for byte** (wall time, the one
+non-deterministic field, is normalized to ``0.0`` on both sides).
+
+Regenerate after an *intentional* simulation-semantics change with::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+and commit the diff; an unintentional diff is a regression.
+"""
+
+from dataclasses import replace
+from pathlib import Path
+from typing import List
+
+from repro.pipeline import four_wide
+from repro.sim import RunSpec
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+MANIFEST_PATH = GOLDEN_DIR / "specs.json"
+
+#: Small enough that the whole corpus simulates in a few seconds, large
+#: enough for every predictor to leave warm-up.
+GOLDEN_SCALE = 0.02
+
+#: The paper's two baseline predictors, pinned explicitly so registry
+#: default changes cannot silently rewrite what the fixtures mean.
+GOLDEN_PREDICTORS = ("tournament", "tage-sc-l")
+
+
+def golden_specs() -> List[RunSpec]:
+    """The canonical grid: untimed base/pbs points plus one timed run."""
+    specs = [
+        RunSpec(
+            workload=workload,
+            scale=GOLDEN_SCALE,
+            seed=seed,
+            mode=mode,
+            predictors=GOLDEN_PREDICTORS,
+        )
+        for workload, seed in (("pi", 1), ("dop", 1), ("mc-integ", 2))
+        for mode in ("base", "pbs")
+    ]
+    specs.append(
+        RunSpec(
+            workload="pi",
+            scale=GOLDEN_SCALE,
+            seed=1,
+            mode="base",
+            predictors=GOLDEN_PREDICTORS,
+            timing=_four_wide_dict(),
+        )
+    )
+    return specs
+
+
+def _four_wide_dict():
+    from repro.sim.sweep import _core_config_to_dict
+
+    return _core_config_to_dict(four_wide())
+
+
+def fixture_name(spec: RunSpec) -> str:
+    timed = "-timed" if spec.timing is not None else ""
+    return f"{spec.workload}-{spec.mode}-seed{spec.seed}{timed}.json"
+
+
+def normalized_json(result) -> str:
+    """The byte-exact fixture form: wall time zeroed, 2-space indent."""
+    return replace(result, wall_time=0.0).to_json(indent=2) + "\n"

@@ -1,0 +1,95 @@
+"""Golden-result regression suite.
+
+Every registered executor backend replays the checked-in canonical grid
+(``tests/golden/``) and must reproduce each fixture **byte for byte**
+after wall-time normalization.  The ``remote`` backend runs against an
+in-process ``WorkerServer`` on localhost, so the whole wire protocol is
+under the same bit-identical contract as the local backends.
+
+If a fixture diff is *intentional* (simulation semantics changed),
+regenerate with ``PYTHONPATH=src python -m tests.golden.regen`` and
+commit the new fixtures alongside the change.
+"""
+
+import json
+
+import pytest
+
+from repro.sim import EXECUTORS, RunSpec, Sweep, WorkerServer, create_executor
+
+from .golden import GOLDEN_DIR, MANIFEST_PATH, fixture_name, golden_specs, normalized_json
+
+
+@pytest.fixture(scope="module")
+def worker():
+    server = WorkerServer(processes=1).start()
+    yield server
+    server.stop()
+
+
+def _manifest():
+    return json.loads(MANIFEST_PATH.read_text())
+
+
+def _build(name, worker):
+    options = {"workers": [worker.address_string]} if name == "remote" else {}
+    return create_executor(name, processes=2, **options)
+
+
+class TestGoldenCorpus:
+    def test_manifest_matches_generator(self):
+        # specs.json is a faithful snapshot of golden_specs(): nobody
+        # edited one side without regenerating the other.
+        entries = _manifest()
+        specs = golden_specs()
+        assert [e["fixture"] for e in entries] == [fixture_name(s) for s in specs]
+        assert [RunSpec.from_dict(e["spec"]) for e in entries] == specs
+
+    def test_digests_are_stable(self):
+        # A digest drift silently invalidates every user's warm cache;
+        # it must only ever happen behind an intentional CACHE_VERSION
+        # bump, which also regenerates this manifest.
+        for entry in _manifest():
+            assert RunSpec.from_dict(entry["spec"]).digest() == entry["digest"], (
+                f"cache digest drifted for {entry['fixture']}"
+            )
+
+    def test_fixture_files_exist_and_parse(self):
+        for entry in _manifest():
+            path = GOLDEN_DIR / entry["fixture"]
+            assert path.exists(), f"missing fixture {entry['fixture']}"
+            data = json.loads(path.read_text())
+            assert data["wall_time"] == 0.0  # normalized at regen time
+
+
+@pytest.mark.parametrize("name", sorted(EXECUTORS))
+def test_executor_reproduces_golden_corpus(name, worker):
+    entries = _manifest()
+    specs = [RunSpec.from_dict(entry["spec"]) for entry in entries]
+    executor = _build(name, worker)
+    try:
+        results = executor.map(specs)
+    finally:
+        executor.close()
+    assert len(results) == len(specs)
+    for entry, result in zip(entries, results):
+        expected = (GOLDEN_DIR / entry["fixture"]).read_text()
+        assert normalized_json(result) == expected, (
+            f"executor {name!r} diverged from {entry['fixture']}"
+        )
+
+
+def test_remote_matches_serial_on_16_point_grid(worker):
+    # The acceptance grid: 16 points through a localhost repro-worker,
+    # bit-identical to the in-process serial backend.
+    grid = dict(workloads=["pi"], scales=(0.02,), seeds=tuple(range(8)))
+    assert len(Sweep(**grid).specs()) == 16
+    serial = Sweep(**grid).run(executor="serial")
+    executor = _build("remote", worker)
+    try:
+        remote = Sweep(**grid).run(executor=executor)
+    finally:
+        executor.close()
+    assert remote.to_stats()["executor"] == "remote"
+    for a, b in zip(serial, remote):
+        assert normalized_json(a) == normalized_json(b)

@@ -176,29 +176,12 @@ class TestSweep:
         assert base.digest() != RunSpec(workload="dop", scale=SCALE, seed=1).digest()
 
 
-class TestDeprecationShims:
-    def test_mpki_pair_warns_but_matches_session(self):
-        from repro.experiments.common import mpki_pair
+class TestRemovedShims:
+    def test_mpki_pair_and_timed_matrix_are_gone(self):
+        # Removed after a deprecation cycle (use Session / Session.timing).
+        from repro.experiments import common
 
-        with pytest.warns(DeprecationWarning):
-            pair = mpki_pair("pi", SCALE, 1)
-        session = (
-            Session("pi", scale=SCALE, seed=1)
-            .predictors(*baseline_predictors())
-            .run()
-        )
-        assert (
-            pair["base"]["tournament"].stats.mpki
-            == session.predictor("tournament").mpki
-        )
-        assert pair["pbs"]["tournament"].stats.mpki < pair["base"]["tournament"].stats.mpki
-
-    def test_timed_matrix_warns_and_keeps_key_scheme(self):
-        from repro.experiments.common import timed_matrix
-
-        with pytest.warns(DeprecationWarning):
-            cores = timed_matrix("pi", SCALE, 1, four_wide)
-        assert set(cores) == {
-            "tournament", "tage-sc-l", "tournament+pbs", "tage-sc-l+pbs",
-        }
-        assert cores["tournament+pbs"].stats.ipc > cores["tournament"].stats.ipc
+        assert not hasattr(common, "mpki_pair")
+        assert not hasattr(common, "timed_matrix")
+        assert "mpki_pair" not in common.__all__
+        assert "timed_matrix" not in common.__all__
