@@ -5,6 +5,8 @@ Subcommands::
     pbs-experiments run all                    # every table and figure
     pbs-experiments run figure6 --scale 0.25 --seed 3 --json
     pbs-experiments sweep --workloads pi,dop --seeds 0,1,2,3 --processes 4
+    pbs-experiments sweep --trace-store .pbs-traces --split-predictors ...
+    pbs-experiments trace ls                   # captured traces
     pbs-experiments list workloads             # registry contents
 
 The pre-subcommand invocation style (``pbs-experiments figure6``) keeps
@@ -163,6 +165,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk result cache (use '' to disable)",
     )
     sweep_parser.add_argument(
+        "--trace-store", type=str, default=None, metavar="DIR",
+        help=(
+            "trace store directory: interpret each (workload, scale, "
+            "seed, PBS-config) group once, replay its committed path "
+            "for every other grid point"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--split-predictors", action="store_true",
+        help=(
+            "one grid point per predictor instead of one point fanning "
+            "out to all of them (the shape that profits most from "
+            "--trace-store)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--progress", action="store_true",
         help="print one line per completed grid point to stderr",
     )
@@ -186,6 +204,31 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         choices=["workloads", "predictors", "experiments", "all"],
         default="all",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect and maintain a committed-path trace store"
+    )
+    trace_parser.add_argument(
+        "action", choices=["ls", "info", "gc"],
+        help="ls: list traces; info: one trace's metadata; gc: drop "
+             "unreadable/stale traces (--all clears the store)",
+    )
+    trace_parser.add_argument(
+        "digest", nargs="?", default=None,
+        help="trace digest (or unique prefix) for 'info'",
+    )
+    trace_parser.add_argument(
+        "--trace-store", type=str, default=".pbs-traces", metavar="DIR",
+        help="trace store directory (default: .pbs-traces)",
+    )
+    trace_parser.add_argument(
+        "--all", action="store_true",
+        help="with gc: remove every trace, not just stale ones",
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a table",
     )
     return parser
 
@@ -244,6 +287,8 @@ def _cmd_sweep(args) -> int:
         modes=args.modes,
         predictors=args.predictors,
         cache_dir=args.cache_dir or None,
+        trace_dir=args.trace_store or None,
+        split_predictors=args.split_predictors,
     )
     on_result = None
     if args.progress:
@@ -252,7 +297,12 @@ def _cmd_sweep(args) -> int:
 
         def on_result(spec, result):
             done["count"] += 1
-            origin = "cache" if result.cached else f"{result.wall_time:.1f}s"
+            if result.cached:
+                origin = "cache"
+            elif result.trace_origin == "replay":
+                origin = f"replay {result.wall_time:.1f}s"
+            else:
+                origin = f"{result.wall_time:.1f}s"
             print(
                 f"[{done['count']}/{total}] {spec.workload} "
                 f"scale={spec.scale:g} seed={spec.seed} {spec.mode} "
@@ -308,11 +358,85 @@ def _cmd_sweep(args) -> int:
                 f"{result.workload:10s} scale={result.scale:<5g} "
                 f"seed={result.seed:<3d} {mode:4s}  mpki: {mpki}  [{origin}]"
             )
+    trace_note = ""
+    if results.trace_captures or results.trace_hits:
+        trace_note = (
+            f" ({results.trace_captures} interpreted, "
+            f"{results.trace_hits} replayed)"
+        )
     print(
-        f"[{len(results)} runs: {results.simulated} simulated, "
+        f"[{len(results)} runs: {results.simulated} simulated{trace_note}, "
         f"{results.cache_hits} from cache, {results.wall_time:.1f}s]",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from ..trace import TraceStore, read_meta
+
+    if not Path(args.trace_store).is_dir():
+        # Creating stores is the sweep's job; an inspection command on a
+        # missing path is almost certainly a typo, not a request for an
+        # empty directory.
+        raise SystemExit(f"no trace store at {args.trace_store!r}")
+    store = TraceStore(args.trace_store)
+    if args.action == "ls":
+        entries = [store.entry(digest) or {"digest": digest}
+                   for digest in store.digests()]
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+            return 0
+        if not entries:
+            print(f"(no traces in {store.root})")
+            return 0
+        print(f"{'digest':12s}  {'workload':10s} {'scale':>6s} {'seed':>4s} "
+              f"{'mode':4s} {'events':>10s} {'bytes':>10s}")
+        total_bytes = 0
+        for entry in entries:
+            total_bytes += entry.get("bytes") or 0
+            print(
+                f"{entry['digest'][:12]:12s}  "
+                f"{str(entry.get('workload', '?')):10s} "
+                f"{str(entry.get('scale', '?')):>6s} "
+                f"{str(entry.get('seed', '?')):>4s} "
+                f"{str(entry.get('mode', '?')):4s} "
+                f"{str(entry.get('events', '?')):>10s} "
+                f"{str(entry.get('bytes', '?')):>10s}"
+            )
+        print(f"[{len(entries)} traces, {total_bytes} bytes in {store.root}]",
+              file=sys.stderr)
+        return 0
+    if args.action == "info":
+        if not args.digest:
+            raise SystemExit("trace info needs a digest (see 'trace ls')")
+        matches = store.digests(args.digest)
+        if len(matches) != 1:
+            raise SystemExit(
+                f"{len(matches)} traces match {args.digest!r}; "
+                "need a unique digest prefix"
+            )
+        digest = matches[0]
+        meta = read_meta(store.path(digest))
+        if meta is None:
+            raise SystemExit(f"trace {digest} is unreadable (try 'trace gc')")
+        consumed = meta.pop("consumed_values", None)
+        info = {
+            "digest": digest,
+            "path": str(store.path(digest)),
+            "bytes": store.path(digest).stat().st_size,
+            "consumed_values": len(consumed or []),
+            **meta,
+        }
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    # gc
+    summary = store.gc(clear=args.all)
+    print(json.dumps(summary, indent=2, sort_keys=True) if args.json else
+          f"[gc: removed {summary['removed']}, kept {summary['kept']}, "
+          f"reclaimed {summary['reclaimed_bytes']} bytes]")
     return 0
 
 
@@ -339,7 +463,7 @@ def main(argv=None) -> int:
     artefacts = set(EXPERIMENTS) | {"all"}
     if (
         argv
-        and argv[0] not in {"run", "sweep", "list"}
+        and argv[0] not in {"run", "sweep", "list", "trace"}
         and any(token in artefacts for token in argv)
     ):
         argv.insert(0, "run")
@@ -353,6 +477,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_list(args)
 
 

@@ -103,281 +103,400 @@ class Executor:
         self.consumed_values: List[float] = []
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _decode(instructions) -> List[tuple]:
+        """Pre-decode operand accessors for the interpreter loop.
+
+        One tuple per static instruction::
+
+            (op, dest, s0r, s0, s1r, s1, s2r, s2,
+             target, offset, cmp_op, trace_srcs)
+
+        ``dest`` is the destination register number (``-1`` when absent);
+        each source is an (is-register, register-number-or-immediate)
+        pair, so the hot loop reads ``regs[s0] if s0r else s0`` instead
+        of calling a ``val()`` closure that re-discovers the operand
+        kind on every dynamic instance.  ``trace_srcs`` is the event's
+        register-source tuple, computed once instead of per event.
+
+        Operands the loop dereferences unconditionally (load/store base
+        registers, the PROB_CMP value register) are validated here, once
+        per *static* instruction — a malformed program is rejected
+        before execution instead of silently indexing the register file
+        with an immediate.
+        """
+        decoded = []
+        for pc, inst in enumerate(instructions):
+            pairs = []
+            for source in inst.srcs[:3]:
+                if source.__class__ is Reg:
+                    pairs.append((True, source.num))
+                else:
+                    pairs.append((False, source))
+            while len(pairs) < 3:
+                pairs.append((False, None))
+            op = inst.op
+            if (
+                (op is Op.LOAD or op is Op.FLOAD or op is Op.PROB_CMP)
+                and not pairs[0][0]
+            ):
+                raise ExecutionError(
+                    f"@{pc}: {op.name} needs a register first source, "
+                    f"got {inst.srcs[0] if inst.srcs else None!r}"
+                )
+            if (op is Op.STORE or op is Op.FSTORE) and not pairs[1][0]:
+                raise ExecutionError(
+                    f"@{pc}: {op.name} needs a register base, "
+                    f"got {inst.srcs[1] if len(inst.srcs) > 1 else None!r}"
+                )
+            decoded.append((
+                inst.op,
+                inst.dest.num if inst.dest is not None else -1,
+                pairs[0][0], pairs[0][1],
+                pairs[1][0], pairs[1][1],
+                pairs[2][0], pairs[2][1],
+                inst.target,
+                inst.offset,
+                inst.cmp_op,
+                tuple(s.num for s in inst.srcs if s.__class__ is Reg),
+            ))
+        return decoded
+
     def run(self, sink: Optional[Sink] = None) -> MachineState:
         """Execute until HALT; feed events to ``sink`` if given."""
         program = self.program
-        instructions = program.instructions
         state = self.state
         regs = state.regs
         memory = state.memory
+        n_memory = len(memory)
+        call_stack = state.call_stack
+        emit_output = state.emit_output
         rng = self.rng
+        rng_uniform = rng.uniform
+        rng_normal = rng.normal
         pbs = self.pbs
         emit = sink is not None
         limit = self.max_instructions
         op_class = OP_CLASS
+        record_consumed = self.record_consumed
+        consumed_values = self.consumed_values
+        decoded = self._decode(program.instructions)
+
+        # Hoisted globals/builtins: every name below is read once here
+        # instead of per retired instruction.
+        make_event = TraceEvent
+        eval_cmp = evaluate_cmp
+        prob_decision = ProbDecision
+        prob_group = ProbGroup
+        _abs, _min, _max, _float, _int, _bool = abs, min, max, float, int, bool
+        NOT_PROB = ProbMode.NOT_PROB
+        PBS_HIT = ProbMode.PBS_HIT
+        PREDICTED = ProbMode.PREDICTED
+        COND = COND_REG_NUM
+        # Opcode members as locals: `op is ADD` costs one LOAD_FAST
+        # instead of an enum attribute lookup.
+        ADD, FMUL, FADD, FSUB, SUB, MUL = (
+            Op.ADD, Op.FMUL, Op.FADD, Op.FSUB, Op.SUB, Op.MUL)
+        MOV, FMOV, RAND, RANDN = Op.MOV, Op.FMOV, Op.RAND, Op.RANDN
+        BLT, BGE, BEQ, BNE, BLE, BGT = (
+            Op.BLT, Op.BGE, Op.BEQ, Op.BNE, Op.BLE, Op.BGT)
+        CMP, JT, JF, PROB_CMP, PROB_JMP = (
+            Op.CMP, Op.JT, Op.JF, Op.PROB_CMP, Op.PROB_JMP)
+        JMP, CALL, RET = Op.JMP, Op.CALL, Op.RET
+        LOAD, FLOAD, STORE, FSTORE = Op.LOAD, Op.FLOAD, Op.STORE, Op.FSTORE
+        DIV, MOD, AND, OR, XOR, SHL, SHR = (
+            Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR)
+        SLT, SLE, SEQ, SNE, MIN, MAX = (
+            Op.SLT, Op.SLE, Op.SEQ, Op.SNE, Op.MIN, Op.MAX)
+        SELECT, FSELECT, FDIV, FSQRT = (
+            Op.SELECT, Op.FSELECT, Op.FDIV, Op.FSQRT)
+        FEXP, FLOG, FSIN, FCOS, FABS, FNEG = (
+            Op.FEXP, Op.FLOG, Op.FSIN, Op.FCOS, Op.FABS, Op.FNEG)
+        FMIN, FMAX, FLT, FLE, FEQ, FNE = (
+            Op.FMIN, Op.FMAX, Op.FLT, Op.FLE, Op.FEQ, Op.FNE)
+        ITOF, FTOI, FFLOOR, OUT, NOP, HALT = (
+            Op.ITOF, Op.FTOI, Op.FFLOOR, Op.OUT, Op.NOP, Op.HALT)
 
         # Pending probabilistic group being assembled between PROB_CMP and
         # the final PROB_JMP.
         pending_cmp = None  # (cmp_op, cond, const_value, regs, values)
 
-        def val(operand):
-            return regs[operand.num] if operand.__class__ is Reg else operand
-
         pc = 0
         retired = 0
-        n_instructions = len(instructions)
+        n_instructions = len(decoded)
         try:
             while True:
                 if retired >= limit:
                     raise ExecutionLimitExceeded(
                         f"{program.name}: exceeded {limit} instructions"
                     )
-                inst = instructions[pc]
-                op = inst.op
+                (op, dest, s0r, s0, s1r, s1, s2r, s2,
+                 target_f, offset, cmp_op_f, trace_srcs) = decoded[pc]
                 next_pc = pc + 1
                 taken = False
                 target = None
                 is_branch = False
                 addr = None
                 is_store = False
-                prob_mode = ProbMode.NOT_PROB
+                prob_mode = NOT_PROB
 
-                if op is Op.ADD:
-                    regs[inst.dest.num] = val(inst.srcs[0]) + val(inst.srcs[1])
-                elif op is Op.FMUL:
-                    regs[inst.dest.num] = val(inst.srcs[0]) * val(inst.srcs[1])
-                elif op is Op.FADD:
-                    regs[inst.dest.num] = val(inst.srcs[0]) + val(inst.srcs[1])
-                elif op is Op.FSUB:
-                    regs[inst.dest.num] = val(inst.srcs[0]) - val(inst.srcs[1])
-                elif op is Op.SUB:
-                    regs[inst.dest.num] = val(inst.srcs[0]) - val(inst.srcs[1])
-                elif op is Op.MUL:
-                    regs[inst.dest.num] = val(inst.srcs[0]) * val(inst.srcs[1])
-                elif op is Op.MOV or op is Op.FMOV:
-                    regs[inst.dest.num] = val(inst.srcs[0])
-                elif op is Op.RAND:
-                    regs[inst.dest.num] = rng.uniform()
-                elif op is Op.RANDN:
-                    regs[inst.dest.num] = rng.normal()
-                elif op is Op.BLT:
+                if op is ADD:
+                    regs[dest] = (regs[s0] if s0r else s0) + (regs[s1] if s1r else s1)
+                elif op is FMUL:
+                    regs[dest] = (regs[s0] if s0r else s0) * (regs[s1] if s1r else s1)
+                elif op is FADD:
+                    regs[dest] = (regs[s0] if s0r else s0) + (regs[s1] if s1r else s1)
+                elif op is FSUB:
+                    regs[dest] = (regs[s0] if s0r else s0) - (regs[s1] if s1r else s1)
+                elif op is SUB:
+                    regs[dest] = (regs[s0] if s0r else s0) - (regs[s1] if s1r else s1)
+                elif op is MUL:
+                    regs[dest] = (regs[s0] if s0r else s0) * (regs[s1] if s1r else s1)
+                elif op is MOV or op is FMOV:
+                    regs[dest] = regs[s0] if s0r else s0
+                elif op is RAND:
+                    regs[dest] = rng_uniform()
+                elif op is RANDN:
+                    regs[dest] = rng_normal()
+                elif op is BLT:
                     is_branch = True
-                    target = inst.target
-                    taken = val(inst.srcs[0]) < val(inst.srcs[1])
+                    target = target_f
+                    taken = (regs[s0] if s0r else s0) < (regs[s1] if s1r else s1)
                     if taken:
                         next_pc = target
-                elif op is Op.BGE:
+                elif op is BGE:
                     is_branch = True
-                    target = inst.target
-                    taken = val(inst.srcs[0]) >= val(inst.srcs[1])
+                    target = target_f
+                    taken = (regs[s0] if s0r else s0) >= (regs[s1] if s1r else s1)
                     if taken:
                         next_pc = target
-                elif op is Op.BEQ:
+                elif op is BEQ:
                     is_branch = True
-                    target = inst.target
-                    taken = val(inst.srcs[0]) == val(inst.srcs[1])
+                    target = target_f
+                    taken = (regs[s0] if s0r else s0) == (regs[s1] if s1r else s1)
                     if taken:
                         next_pc = target
-                elif op is Op.BNE:
+                elif op is BNE:
                     is_branch = True
-                    target = inst.target
-                    taken = val(inst.srcs[0]) != val(inst.srcs[1])
+                    target = target_f
+                    taken = (regs[s0] if s0r else s0) != (regs[s1] if s1r else s1)
                     if taken:
                         next_pc = target
-                elif op is Op.BLE:
+                elif op is BLE:
                     is_branch = True
-                    target = inst.target
-                    taken = val(inst.srcs[0]) <= val(inst.srcs[1])
+                    target = target_f
+                    taken = (regs[s0] if s0r else s0) <= (regs[s1] if s1r else s1)
                     if taken:
                         next_pc = target
-                elif op is Op.BGT:
+                elif op is BGT:
                     is_branch = True
-                    target = inst.target
-                    taken = val(inst.srcs[0]) > val(inst.srcs[1])
+                    target = target_f
+                    taken = (regs[s0] if s0r else s0) > (regs[s1] if s1r else s1)
                     if taken:
                         next_pc = target
-                elif op is Op.CMP:
-                    regs[COND_REG_NUM] = (
-                        1 if evaluate_cmp(inst.cmp_op, val(inst.srcs[0]), val(inst.srcs[1])) else 0
+                elif op is CMP:
+                    regs[COND] = (
+                        1 if eval_cmp(
+                            cmp_op_f,
+                            regs[s0] if s0r else s0,
+                            regs[s1] if s1r else s1,
+                        ) else 0
                     )
-                elif op is Op.JT:
+                elif op is JT:
                     is_branch = True
-                    target = inst.target
-                    taken = bool(regs[COND_REG_NUM])
+                    target = target_f
+                    taken = _bool(regs[COND])
                     if taken:
                         next_pc = target
-                elif op is Op.JF:
+                elif op is JF:
                     is_branch = True
-                    target = inst.target
-                    taken = not regs[COND_REG_NUM]
+                    target = target_f
+                    taken = not regs[COND]
                     if taken:
                         next_pc = target
-                elif op is Op.PROB_CMP:
-                    new_value = regs[inst.srcs[0].num]
-                    const_value = val(inst.srcs[1])
-                    cond = evaluate_cmp(inst.cmp_op, new_value, const_value)
-                    regs[COND_REG_NUM] = 1 if cond else 0
+                elif op is PROB_CMP:
+                    new_value = regs[s0]
+                    const_value = regs[s1] if s1r else s1
+                    cond = eval_cmp(cmp_op_f, new_value, const_value)
+                    regs[COND] = 1 if cond else 0
                     pending_cmp = (
-                        inst.cmp_op,
+                        cmp_op_f,
                         cond,
                         const_value,
-                        [inst.srcs[0].num],
+                        [s0],
                         [new_value],
                     )
-                elif op is Op.PROB_JMP:
+                elif op is PROB_JMP:
                     if pending_cmp is None:
                         raise ExecutionError(
                             f"{program.name}@{pc}: PROB_JMP without PROB_CMP"
                         )
                     cmp_op, cond, const_value, group_regs, group_values = pending_cmp
-                    if inst.dest is not None:
-                        group_regs.append(inst.dest.num)
-                        group_values.append(regs[inst.dest.num])
-                    if inst.target is None:
+                    if dest != -1:
+                        group_regs.append(dest)
+                        group_values.append(regs[dest])
+                    if target_f is None:
                         # Intermediate PROB_JMP: registers an extra swap
                         # value, does not jump (paper: Immediate = 0).
                         pass
                     else:
                         is_branch = True
-                        target = inst.target
-                        group = ProbGroup(
+                        target = target_f
+                        group = prob_group(
                             pc, cmp_op, cond, const_value, group_regs, group_values
                         )
                         if pbs is not None:
                             decision = pbs.transact(group)
                         else:
-                            decision = ProbDecision("regular", cond)
+                            decision = prob_decision("regular", cond)
                         taken = decision.taken
                         if decision.mode == "hit":
-                            prob_mode = ProbMode.PBS_HIT
+                            prob_mode = PBS_HIT
                             for reg_num, old in zip(group_regs, decision.swap_values):
                                 regs[reg_num] = old
-                            regs[COND_REG_NUM] = 1 if taken else 0
-                            if self.record_consumed:
-                                self.consumed_values.append(decision.swap_values[0])
+                            regs[COND] = 1 if taken else 0
+                            if record_consumed:
+                                consumed_values.append(decision.swap_values[0])
                         else:
-                            prob_mode = ProbMode.PREDICTED
-                            if self.record_consumed:
-                                self.consumed_values.append(group_values[0])
+                            prob_mode = PREDICTED
+                            if record_consumed:
+                                consumed_values.append(group_values[0])
                         if taken:
                             next_pc = target
                         pending_cmp = None
-                elif op is Op.JMP:
-                    target = inst.target
+                elif op is JMP:
+                    target = target_f
                     next_pc = target
                     if pbs is not None:
                         pbs.observe_branch(pc, True, target)
-                elif op is Op.CALL:
-                    target = inst.target
-                    state.call_stack.append(pc + 1)
+                elif op is CALL:
+                    target = target_f
+                    call_stack.append(pc + 1)
                     next_pc = target
                     if pbs is not None:
                         pbs.observe_call(pc)
-                elif op is Op.RET:
-                    if not state.call_stack:
+                elif op is RET:
+                    if not call_stack:
                         raise ExecutionError(f"{program.name}@{pc}: RET on empty stack")
-                    next_pc = state.call_stack.pop()
+                    next_pc = call_stack.pop()
                     target = next_pc
                     if pbs is not None:
                         pbs.observe_return(pc)
-                elif op is Op.LOAD or op is Op.FLOAD:
-                    addr = regs[inst.srcs[0].num] + inst.offset
-                    if not 0 <= addr < len(memory):
+                elif op is LOAD or op is FLOAD:
+                    addr = regs[s0] + offset
+                    if not 0 <= addr < n_memory:
                         raise ExecutionError(
                             f"{program.name}@{pc}: load from {addr} out of range"
                         )
-                    regs[inst.dest.num] = memory[addr]
-                elif op is Op.STORE or op is Op.FSTORE:
-                    addr = regs[inst.srcs[1].num] + inst.offset
-                    if not 0 <= addr < len(memory):
+                    regs[dest] = memory[addr]
+                elif op is STORE or op is FSTORE:
+                    addr = regs[s1] + offset
+                    if not 0 <= addr < n_memory:
                         raise ExecutionError(
                             f"{program.name}@{pc}: store to {addr} out of range"
                         )
-                    memory[addr] = val(inst.srcs[0])
+                    memory[addr] = regs[s0] if s0r else s0
                     is_store = True
-                elif op is Op.DIV:
-                    a, b = val(inst.srcs[0]), val(inst.srcs[1])
+                elif op is DIV:
+                    a, b = (regs[s0] if s0r else s0), (regs[s1] if s1r else s1)
                     if b == 0:
                         raise ExecutionError(f"{program.name}@{pc}: integer div by 0")
-                    q = abs(a) // abs(b)
-                    regs[inst.dest.num] = -q if (a < 0) != (b < 0) else q
-                elif op is Op.MOD:
-                    a, b = val(inst.srcs[0]), val(inst.srcs[1])
+                    q = _abs(a) // _abs(b)
+                    regs[dest] = -q if (a < 0) != (b < 0) else q
+                elif op is MOD:
+                    a, b = (regs[s0] if s0r else s0), (regs[s1] if s1r else s1)
                     if b == 0:
                         raise ExecutionError(f"{program.name}@{pc}: integer mod by 0")
-                    q = abs(a) // abs(b)
+                    q = _abs(a) // _abs(b)
                     q = -q if (a < 0) != (b < 0) else q
-                    regs[inst.dest.num] = a - q * b
-                elif op is Op.AND:
-                    regs[inst.dest.num] = val(inst.srcs[0]) & val(inst.srcs[1])
-                elif op is Op.OR:
-                    regs[inst.dest.num] = val(inst.srcs[0]) | val(inst.srcs[1])
-                elif op is Op.XOR:
-                    regs[inst.dest.num] = val(inst.srcs[0]) ^ val(inst.srcs[1])
-                elif op is Op.SHL:
-                    regs[inst.dest.num] = val(inst.srcs[0]) << val(inst.srcs[1])
-                elif op is Op.SHR:
-                    regs[inst.dest.num] = val(inst.srcs[0]) >> val(inst.srcs[1])
-                elif op is Op.SLT:
-                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) < val(inst.srcs[1]) else 0
-                elif op is Op.SLE:
-                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) <= val(inst.srcs[1]) else 0
-                elif op is Op.SEQ:
-                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) == val(inst.srcs[1]) else 0
-                elif op is Op.SNE:
-                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) != val(inst.srcs[1]) else 0
-                elif op is Op.MIN:
-                    regs[inst.dest.num] = min(val(inst.srcs[0]), val(inst.srcs[1]))
-                elif op is Op.MAX:
-                    regs[inst.dest.num] = max(val(inst.srcs[0]), val(inst.srcs[1]))
-                elif op is Op.SELECT or op is Op.FSELECT:
-                    cond_value = val(inst.srcs[0])
-                    regs[inst.dest.num] = (
-                        val(inst.srcs[1]) if cond_value else val(inst.srcs[2])
+                    regs[dest] = a - q * b
+                elif op is AND:
+                    regs[dest] = (regs[s0] if s0r else s0) & (regs[s1] if s1r else s1)
+                elif op is OR:
+                    regs[dest] = (regs[s0] if s0r else s0) | (regs[s1] if s1r else s1)
+                elif op is XOR:
+                    regs[dest] = (regs[s0] if s0r else s0) ^ (regs[s1] if s1r else s1)
+                elif op is SHL:
+                    regs[dest] = (regs[s0] if s0r else s0) << (regs[s1] if s1r else s1)
+                elif op is SHR:
+                    regs[dest] = (regs[s0] if s0r else s0) >> (regs[s1] if s1r else s1)
+                elif op is SLT:
+                    regs[dest] = (
+                        1 if (regs[s0] if s0r else s0) < (regs[s1] if s1r else s1) else 0
                     )
-                elif op is Op.FDIV:
-                    regs[inst.dest.num] = val(inst.srcs[0]) / val(inst.srcs[1])
-                elif op is Op.FSQRT:
-                    regs[inst.dest.num] = val(inst.srcs[0]) ** 0.5
-                elif op is Op.FEXP:
-                    regs[inst.dest.num] = _exp(val(inst.srcs[0]))
-                elif op is Op.FLOG:
-                    regs[inst.dest.num] = _log(val(inst.srcs[0]))
-                elif op is Op.FSIN:
-                    regs[inst.dest.num] = _sin(val(inst.srcs[0]))
-                elif op is Op.FCOS:
-                    regs[inst.dest.num] = _cos(val(inst.srcs[0]))
-                elif op is Op.FABS:
-                    regs[inst.dest.num] = abs(val(inst.srcs[0]))
-                elif op is Op.FNEG:
-                    regs[inst.dest.num] = -val(inst.srcs[0])
-                elif op is Op.FMIN:
-                    regs[inst.dest.num] = min(val(inst.srcs[0]), val(inst.srcs[1]))
-                elif op is Op.FMAX:
-                    regs[inst.dest.num] = max(val(inst.srcs[0]), val(inst.srcs[1]))
-                elif op is Op.FLT:
-                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) < val(inst.srcs[1]) else 0
-                elif op is Op.FLE:
-                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) <= val(inst.srcs[1]) else 0
-                elif op is Op.FEQ:
-                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) == val(inst.srcs[1]) else 0
-                elif op is Op.FNE:
-                    regs[inst.dest.num] = 1 if val(inst.srcs[0]) != val(inst.srcs[1]) else 0
-                elif op is Op.ITOF:
-                    regs[inst.dest.num] = float(val(inst.srcs[0]))
-                elif op is Op.FTOI:
-                    regs[inst.dest.num] = int(val(inst.srcs[0]))
-                elif op is Op.FFLOOR:
-                    regs[inst.dest.num] = float(int(val(inst.srcs[0]) // 1))
-                elif op is Op.OUT:
-                    state.emit_output(inst.offset, val(inst.srcs[0]))
-                elif op is Op.NOP:
+                elif op is SLE:
+                    regs[dest] = (
+                        1 if (regs[s0] if s0r else s0) <= (regs[s1] if s1r else s1) else 0
+                    )
+                elif op is SEQ:
+                    regs[dest] = (
+                        1 if (regs[s0] if s0r else s0) == (regs[s1] if s1r else s1) else 0
+                    )
+                elif op is SNE:
+                    regs[dest] = (
+                        1 if (regs[s0] if s0r else s0) != (regs[s1] if s1r else s1) else 0
+                    )
+                elif op is MIN:
+                    regs[dest] = _min(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
+                elif op is MAX:
+                    regs[dest] = _max(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
+                elif op is SELECT or op is FSELECT:
+                    regs[dest] = (
+                        (regs[s1] if s1r else s1)
+                        if (regs[s0] if s0r else s0)
+                        else (regs[s2] if s2r else s2)
+                    )
+                elif op is FDIV:
+                    regs[dest] = (regs[s0] if s0r else s0) / (regs[s1] if s1r else s1)
+                elif op is FSQRT:
+                    regs[dest] = (regs[s0] if s0r else s0) ** 0.5
+                elif op is FEXP:
+                    regs[dest] = _exp(regs[s0] if s0r else s0)
+                elif op is FLOG:
+                    regs[dest] = _log(regs[s0] if s0r else s0)
+                elif op is FSIN:
+                    regs[dest] = _sin(regs[s0] if s0r else s0)
+                elif op is FCOS:
+                    regs[dest] = _cos(regs[s0] if s0r else s0)
+                elif op is FABS:
+                    regs[dest] = _abs(regs[s0] if s0r else s0)
+                elif op is FNEG:
+                    regs[dest] = -(regs[s0] if s0r else s0)
+                elif op is FMIN:
+                    regs[dest] = _min(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
+                elif op is FMAX:
+                    regs[dest] = _max(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
+                elif op is FLT:
+                    regs[dest] = (
+                        1 if (regs[s0] if s0r else s0) < (regs[s1] if s1r else s1) else 0
+                    )
+                elif op is FLE:
+                    regs[dest] = (
+                        1 if (regs[s0] if s0r else s0) <= (regs[s1] if s1r else s1) else 0
+                    )
+                elif op is FEQ:
+                    regs[dest] = (
+                        1 if (regs[s0] if s0r else s0) == (regs[s1] if s1r else s1) else 0
+                    )
+                elif op is FNE:
+                    regs[dest] = (
+                        1 if (regs[s0] if s0r else s0) != (regs[s1] if s1r else s1) else 0
+                    )
+                elif op is ITOF:
+                    regs[dest] = _float(regs[s0] if s0r else s0)
+                elif op is FTOI:
+                    regs[dest] = _int(regs[s0] if s0r else s0)
+                elif op is FFLOOR:
+                    regs[dest] = _float(_int((regs[s0] if s0r else s0) // 1))
+                elif op is OUT:
+                    emit_output(offset, regs[s0] if s0r else s0)
+                elif op is NOP:
                     pass
-                elif op is Op.HALT:
+                elif op is HALT:
                     retired += 1
                     if emit:
                         sink(
-                            TraceEvent(
+                            make_event(
                                 pc, op, op_class[op], -1, (), next_pc=pc + 1
                             )
                         )
@@ -385,21 +504,17 @@ class Executor:
                 else:  # pragma: no cover - all opcodes handled above
                     raise ExecutionError(f"{program.name}@{pc}: unhandled {op.name}")
 
-                if is_branch and pbs is not None and op is not Op.PROB_JMP:
+                if is_branch and pbs is not None and op is not PROB_JMP:
                     pbs.observe_branch(pc, taken, target)
 
                 if emit:
-                    dest_num = inst.dest.num if inst.dest is not None else -1
-                    srcs = tuple(
-                        s.num for s in inst.srcs if s.__class__ is Reg
-                    )
                     sink(
-                        TraceEvent(
+                        make_event(
                             pc,
                             op,
                             op_class[op],
-                            dest_num,
-                            srcs,
+                            dest,
+                            trace_srcs,
                             is_cond_branch=is_branch,
                             taken=taken,
                             target=target,

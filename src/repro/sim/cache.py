@@ -10,12 +10,10 @@ into 256 subdirectories by digest prefix::
         3f/3f9a...e1.json
         a0/a07c...42.json
 
-Sharding keeps directory listings fast at millions of entries, and the
-append-only ``manifest.jsonl`` index gives O(1) ``len()``, ``stats()``
-and digest-prefix lookup without touching the shard directories.  Entry
-writes go through a per-process temp file and an atomic ``os.replace``,
-and manifest appends are single ``O_APPEND`` writes, so concurrent
-writers — even racing on the same digest — never corrupt the cache.
+The sharding, manifest index and atomic-write machinery is the shared
+:class:`~repro.storage.ShardedStore` layout (also used by the trace
+store); this module layers the :class:`RunResult` JSON codec and run
+metadata on top.
 
 Caches written by the flat v1 layout (``<root>/<digest>.json``) are
 migrated in place, transparently, the first time they are opened.
@@ -23,14 +21,11 @@ migrated in place, transparently, the first time they are opened.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
-import threading
-from collections import Counter
-from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional
 
+from ..storage import ShardedStore, canonical_digest, looks_like_digest
 from .results import RunResult
 
 #: Bump when RunResult serialization or simulation semantics change in a
@@ -39,60 +34,27 @@ from .results import RunResult
 #: hitting.)
 CACHE_VERSION = 1
 
-#: Hex characters of the digest used as the shard directory name.
-SHARD_CHARS = 2
-
-MANIFEST_NAME = "manifest.jsonl"
-
-_DIGEST_LEN = 64  # hex SHA-256
-
 
 def spec_digest(payload: Dict) -> str:
     """Stable digest of a canonical (JSON-serializable) run spec."""
     payload = dict(payload)
     payload["__cache_version__"] = CACHE_VERSION
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return canonical_digest(payload)
 
 
-def _looks_like_digest(stem: str) -> bool:
-    if len(stem) != _DIGEST_LEN:
-        return False
-    return all(ch in "0123456789abcdef" for ch in stem)
-
-
-class ResultCache:
+class ResultCache(ShardedStore):
     """A sharded directory of ``<digest[:2]>/<digest>.json`` files."""
 
-    def __init__(self, root: Union[str, Path]):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-        self._index: Optional[Dict[str, Dict]] = None
+    suffix = ".json"
+
+    def _post_open(self) -> None:
         self._migrate_v1()
-        if not self.manifest_path.exists():
-            # Rebuild the index from the shards now, before any put()
-            # writes an entry the rebuild scan could mistake for a
-            # pre-existing metadata-less one.  When a manifest exists
-            # the index loads lazily — the fully-cached replay path
-            # (get() only) never pays for reading it.
-            self._load_index()
-
-    # -- layout ---------------------------------------------------------
-
-    @property
-    def manifest_path(self) -> Path:
-        return self.root / MANIFEST_NAME
-
-    def path(self, digest: str) -> Path:
-        return self.root / digest[:SHARD_CHARS] / f"{digest}.json"
 
     def _migrate_v1(self) -> int:
         """Move flat ``<root>/<digest>.json`` entries into shards."""
         moved = 0
         for path in self.root.glob("*.json"):
-            if not _looks_like_digest(path.stem):
+            if not looks_like_digest(path.stem):
                 continue
             target = self.path(path.stem)
             target.parent.mkdir(exist_ok=True)
@@ -121,65 +83,6 @@ class ResultCache:
             })
         return entry
 
-    # -- manifest index ---------------------------------------------------
-
-    def _load_index(self) -> Dict[str, Dict]:
-        """digest -> manifest entry, loaded lazily from ``manifest.jsonl``.
-
-        Later lines win (concurrent writers may append duplicates); a
-        truncated trailing line from a crashed writer is skipped.  When
-        the manifest is missing but shards exist — deleted by hand, or
-        an older sharded cache — it is rebuilt from the shard listing.
-        """
-        if self._index is not None:
-            return self._index
-        index: Dict[str, Dict] = {}
-        if self.manifest_path.exists():
-            for line in self.manifest_path.read_text().splitlines():
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:
-                    continue
-                digest = entry.get("digest")
-                if digest:
-                    index[digest] = entry
-        else:
-            for path in sorted(self.root.glob("??/*.json")):
-                if _looks_like_digest(path.stem):
-                    index[path.stem] = self._entry_meta(path.stem)
-            if index:
-                with open(self.manifest_path, "a") as handle:
-                    for entry in index.values():
-                        handle.write(
-                            json.dumps(entry, sort_keys=True) + "\n"
-                        )
-        self._index = index
-        return index
-
-    def _record(self, digest: str, entry: Dict) -> None:
-        if self._index is None:
-            # Index not loaded: append without paying the O(entries)
-            # manifest parse just to dedup one line — duplicate lines
-            # are tolerated on read (later lines win).
-            self._append(entry)
-            return
-        existing = self._index.get(digest)
-        if existing is not None and (
-            "workload" in existing or "workload" not in entry
-        ):
-            return  # already indexed with at least as much metadata
-        self._index[digest] = entry
-        self._append(entry)
-
-    def _append(self, entry: Dict) -> None:
-        # A single small O_APPEND write: atomic on POSIX, so concurrent
-        # writers interleave whole lines rather than corrupting them.
-        with open(self.manifest_path, "a") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-
     # -- entries ----------------------------------------------------------
 
     def get(self, digest: str) -> Optional[RunResult]:
@@ -195,65 +98,21 @@ class ResultCache:
         return result
 
     def put(self, digest: str, result: RunResult) -> None:
-        path = self.path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Per-writer temp name: two writers racing on one digest each
-        # stage their own file, and the atomic replaces leave whichever
-        # finished last — both wrote identical content anyway.
-        tmp = path.with_name(
-            f".{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
-        )
-        try:
-            tmp.write_text(result.to_json())
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)  # only present if the write failed
-        self._record(digest, {
-            "digest": digest,
+        self.write_entry(digest, result.to_json(), meta={
             "workload": result.workload,
             "scale": result.scale,
             "seed": result.seed,
             "mode": "pbs" if result.pbs else "base",
         })
 
-    def digests(self, prefix: str = "") -> List[str]:
-        """All indexed digests starting with ``prefix``, sorted."""
-        return sorted(d for d in self._load_index() if d.startswith(prefix))
-
     def stats(self) -> Dict:
         """Index-backed summary: entry/shard counts, session hit rates."""
-        index = self._load_index()
+        from collections import Counter
+
+        summary = super().stats()
         by_workload = Counter(
-            entry["workload"] for entry in index.values()
+            entry["workload"] for entry in self._load_index().values()
             if entry.get("workload")
         )
-        shards = {digest[:SHARD_CHARS] for digest in index}
-        return {
-            "entries": len(index),
-            "shards": len(shards),
-            "hits": self.hits,
-            "misses": self.misses,
-            "by_workload": dict(sorted(by_workload.items())),
-        }
-
-    def clear(self) -> int:
-        removed = 0
-        for shard in self.root.glob("??"):
-            if not shard.is_dir():
-                continue
-            for path in shard.iterdir():
-                if path.is_file():
-                    if path.suffix == ".json":
-                        removed += 1
-                    path.unlink()  # entries and stray .tmp files alike
-            if not any(shard.iterdir()):
-                shard.rmdir()
-        self.manifest_path.unlink(missing_ok=True)
-        self._index = {}
-        return removed
-
-    def __len__(self) -> int:
-        return len(self._load_index())
-
-    def __contains__(self, digest: str) -> bool:
-        return digest in self._load_index()
+        summary["by_workload"] = dict(sorted(by_workload.items()))
+        return summary

@@ -33,13 +33,22 @@ Message frames
 
 ===========  ==============================================================
 ``hello``    handshake; carries ``protocol``, ``cache_version`` and (from
-             the worker) ``processes``
-``run``      ``{"id": n, "spec": RunSpec.to_dict(), "digest": sha256}``
+             the worker) ``processes`` plus ``trace_store`` (whether the
+             worker holds a local trace store clients may ask it to use)
+``run``      ``{"id": n, "spec": RunSpec.to_dict(), "digest": sha256}``;
+             an optional ``"trace": {"mode": ...}`` asks the worker to
+             serve the spec through its **own** trace store (replay the
+             committed path if captured, interpret + capture otherwise)
 ``result``   ``{"id": n, "result": RunResult.to_dict(), "cached": bool}``
+             plus ``"trace"``: ``"capture"``/``"replay"``/absent
 ``error``    ``{"message": str}`` plus ``"id"`` when tied to one spec
 ``ping``     liveness probe; answered with ``pong``
 ``bye``      clean client shutdown
 ===========  ==============================================================
+
+Trace reuse never ships trace files over the wire: the client strips its
+local ``trace_store`` path from the spec and sends only the directive;
+each worker reads and writes its own store next to its own cache.
 """
 
 from __future__ import annotations
@@ -161,6 +170,7 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 "protocol": worker.protocol_version,
                 "cache_version": worker.cache_version,
                 "processes": worker.processes,
+                "trace_store": worker.trace_dir is not None,
                 "server": "repro-worker",
             })
             reply = _read_frame(self.rfile)
@@ -233,6 +243,17 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 "message": f"undecodable spec: {exc}",
             })
             return
+        directive = message.get("trace")
+        if directive and worker.trace_dir is not None:
+            # The client asked for trace reuse; point the spec at this
+            # worker's own store (trace paths never cross the wire).
+            from dataclasses import replace as _replace
+
+            spec = _replace(
+                spec,
+                trace_store=worker.trace_dir,
+                trace_mode=str(directive.get("mode") or "auto"),
+            )
         digest = spec.digest()
         claimed = message.get("digest")
         if claimed is not None and claimed != digest:
@@ -260,10 +281,12 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             worker._log(
                 f"ran {spec.workload} scale={spec.scale:g} seed={spec.seed} "
                 f"{spec.mode} in {result.wall_time:.2f}s"
+                + (f" [trace {result.trace_origin}]" if result.trace_origin else "")
             )
             self._send_quietly(write_lock, {
                 "type": "result", "id": run_id,
                 "result": result.to_dict(), "cached": False,
+                "trace": result.trace_origin,
             })
 
         def failed(exc: BaseException) -> None:
@@ -294,9 +317,12 @@ class WorkerServer:
     connection thread; larger values share one multiprocessing pool
     across all connections.  With ``cache_dir`` set, the worker answers
     warm specs from its sharded :class:`ResultCache` without
-    re-simulating.  ``fail_after=N`` is a **test hook**: the worker
-    drops every connection and stops accepting after its N-th ``run``
-    request, simulating a worker killed mid-grid.
+    re-simulating; with ``trace_dir`` set, it advertises a local
+    :class:`~repro.trace.TraceStore` and serves trace-directive specs
+    through it (interpret once, replay for every later request of the
+    same committed path).  ``fail_after=N`` is a **test hook**: the
+    worker drops every connection and stops accepting after its N-th
+    ``run`` request, simulating a worker killed mid-grid.
     """
 
     def __init__(
@@ -305,6 +331,7 @@ class WorkerServer:
         port: int = 0,
         processes: int = 1,
         cache_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
         fail_after: Optional[int] = None,
         verbose: bool = False,
         protocol_version: int = PROTOCOL_VERSION,
@@ -312,6 +339,7 @@ class WorkerServer:
     ):
         self.processes = processes
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.trace_dir = str(trace_dir) if trace_dir else None
         self.fail_after = fail_after
         self.verbose = verbose
         self.protocol_version = protocol_version
@@ -439,6 +467,13 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
         help="sharded result cache; warm specs are answered from disk",
     )
     parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "local trace store; specs sent with a trace directive are "
+            "interpreted once and replayed from the committed-path trace"
+        ),
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="log one line per served request to stderr",
     )
@@ -446,7 +481,8 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
     host, port = parse_address(args.listen)
     server = WorkerServer(
         host=host, port=port, processes=args.processes,
-        cache_dir=args.cache_dir, verbose=args.verbose,
+        cache_dir=args.cache_dir, trace_dir=args.trace_dir,
+        verbose=args.verbose,
     )
     print(
         f"repro-worker listening on {server.address_string} "
@@ -560,9 +596,11 @@ class _WorkerClient(threading.Thread):
         self.executor = executor
         self.label = f"{address[0]}:{address[1]}"
         self.inflight: Dict[int, Tuple[int, RunSpec, int]] = {}
+        self.trace_capable = False
         self.stats = {
             "dispatched": 0, "completed": 0, "cache_hits": 0,
             "requeued": 0, "reconnects": 0,
+            "trace_captures": 0, "trace_hits": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
@@ -671,6 +709,7 @@ class _WorkerClient(threading.Thread):
             "client": "repro-remote-executor",
         }))
         wfile.flush()
+        self.trace_capable = bool(hello.get("trace_store"))
         try:
             advertised = int(hello.get("processes") or 1)
         except (TypeError, ValueError) as exc:
@@ -681,12 +720,20 @@ class _WorkerClient(threading.Thread):
         index, spec, attempts = item
         self.inflight[run_id] = item
         self.stats["dispatched"] += 1
-        wfile.write(encode_frame({
+        # The client's trace-store *path* is local and never shipped;
+        # a capable worker gets a directive to use its own store.
+        wire_spec = spec.to_dict()
+        wire_spec.pop("trace_store", None)
+        trace_mode = wire_spec.pop("trace_mode", "auto")
+        frame = {
             "type": "run",
             "id": run_id,
-            "spec": spec.to_dict(),
+            "spec": wire_spec,
             "digest": spec.digest(),
-        }))
+        }
+        if spec.trace_store is not None and self.trace_capable:
+            frame["trace"] = {"mode": trace_mode}
+        wfile.write(encode_frame(frame))
         wfile.flush()
 
     def _send_bye(self, wfile) -> None:
@@ -716,6 +763,10 @@ class _WorkerClient(threading.Thread):
                 raise ProtocolError(f"malformed result frame: {exc!r}") from None
             self.inflight.pop(run_id)
             result.cached = bool(message.get("cached"))
+            origin = message.get("trace")
+            if origin in ("capture", "replay"):
+                result.trace_origin = origin
+                self.stats["trace_captures" if origin == "capture" else "trace_hits"] += 1
             self.stats["completed"] += 1
             if result.cached:
                 self.stats["cache_hits"] += 1

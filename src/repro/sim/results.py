@@ -144,6 +144,11 @@ class RunResult:
     consumed_values: Optional[List[float]] = None
     #: True when this result came out of a sweep cache, not a simulation.
     cached: bool = False
+    #: ``"capture"`` when the run interpreted and recorded a trace,
+    #: ``"replay"`` when it was reconstructed from one, ``None`` for a
+    #: plain interpretation.  Transient bookkeeping like ``cached``:
+    #: survives pickling to the parent process, never serialized.
+    trace_origin: Optional[str] = None
 
     # -- convenience accessors -----------------------------------------
     def predictor(self, name: str) -> PredictorMetrics:
@@ -156,12 +161,14 @@ class RunResult:
     def to_dict(self) -> Dict:
         data = asdict(self)
         data.pop("cached")
+        data.pop("trace_origin")
         return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunResult":
         data = dict(data)
         data.pop("cached", None)
+        data.pop("trace_origin", None)
         data["predictors"] = {
             name: PredictorMetrics(**metrics)
             for name, metrics in (data.get("predictors") or {}).items()

@@ -86,6 +86,8 @@ class Session:
         self._timing_config = None       # CoreConfig when timing is on
         self._record_consumed = False
         self._extra_sinks: List[Callable] = []
+        self._trace_store = None
+        self._trace_mode = "auto"
         # Live objects from the most recent run().
         self.harnesses: Dict[str, object] = {}
         self.cores: Dict[str, object] = {}
@@ -165,17 +167,50 @@ class Session:
         self._extra_sinks.append(consumer)
         return self
 
+    def trace(self, store, mode: str = "auto") -> "Session":
+        """Attach a :class:`~repro.trace.TraceStore` (or its directory).
+
+        With a store attached, ``run()`` **replays** the committed-path
+        event stream from disk when the store holds a trace for this
+        session's ``(workload, scale, seed, PBS config)`` key, and
+        **interprets + captures** otherwise — either way returning a
+        :class:`RunResult` bit-identical to a plain interpretation.
+        ``mode`` forces one leg: ``"capture"`` always re-interprets and
+        records; ``"replay"`` raises ``LookupError`` on a missing trace.
+        """
+        if mode not in ("auto", "capture", "replay"):
+            raise ValueError(f"trace mode must be auto/capture/replay, got {mode!r}")
+        if store is None:
+            self._trace_store = None
+            return self
+        from ..trace import TraceStore
+
+        if not isinstance(store, TraceStore):
+            store = TraceStore(store)
+        self._trace_store = store
+        self._trace_mode = mode
+        return self
+
+    def trace_digest(self) -> str:
+        """The digest identifying this session's committed-path trace."""
+        from dataclasses import asdict
+
+        from ..trace import trace_digest
+
+        pbs_config = (
+            asdict(self._pbs_config) if self._pbs_config is not None else None
+        )
+        return trace_digest(self._workload, self._scale, self._seed, pbs_config)
+
     # -- execution -------------------------------------------------------
-    def run(self) -> RunResult:
+    def _build_consumers(self) -> List[Callable]:
+        """Fresh harnesses/cores for one run, plus caller-owned sinks."""
         from ..branch import PredictorHarness
-        from ..core import PBSEngine
         from ..pipeline import OoOCore
 
-        workload = get_workload(self._workload)
         self.harnesses = {}
         self.cores = {}
         consumers: List[Callable] = []
-
         if self._timing_config is not None:
             for spec in self._specs:
                 config = replace(
@@ -191,41 +226,144 @@ class Session:
                 self.harnesses[spec.label] = harness
                 consumers.append(harness)
         consumers.extend(self._extra_sinks)
+        return consumers
 
+    def run(self) -> RunResult:
+        from ..core import PBSEngine
+
+        store = self._trace_store
+        if store is not None:
+            digest = self.trace_digest()
+            if self._trace_mode in ("auto", "replay"):
+                reader = store.open(digest)
+                if reader is not None:
+                    return self._replay(reader)
+                if self._trace_mode == "replay":
+                    raise LookupError(
+                        f"no trace for {self._workload} scale={self._scale} "
+                        f"seed={self._seed} in {store.root}"
+                    )
+
+        workload = get_workload(self._workload)
+        consumers = self._build_consumers()
         self.engine = (
             PBSEngine(self._pbs_config) if self._pbs_config is not None else None
         )
+        capture = None
+        record_consumed = self._record_consumed
+        if store is not None:
+            capture = store.writer(digest)
+            consumers = consumers + [capture.sink]
+            # Consumed values ride along in the trace metadata so a
+            # later record_consumed replay stays bit-identical; the
+            # executor's semantics do not depend on the flag.
+            record_consumed = True
         sink = None
         if consumers:
             sink = consumers[0] if len(consumers) == 1 else FanOut(consumers)
 
         started = time.perf_counter()
-        self.workload_run = workload.run(
-            scale=self._scale,
-            seed=self._seed,
-            pbs=self.engine,
-            sink=sink,
-            record_consumed=self._record_consumed,
+        try:
+            self.workload_run = workload.run(
+                scale=self._scale,
+                seed=self._seed,
+                pbs=self.engine,
+                sink=sink,
+                record_consumed=record_consumed,
+            )
+            wall_time = time.perf_counter() - started
+
+            for core in self.cores.values():
+                core.finalize()
+
+            run = self.workload_run
+            pbs_stats = self.engine.stats.as_dict() if self.engine else None
+            if capture is not None:
+                capture.commit({
+                    "workload": self._workload,
+                    "scale": self._scale,
+                    "seed": self._seed,
+                    "pbs_config": self._resolved_pbs_config(),
+                    "instructions": run.instructions,
+                    "outputs": dict(run.outputs),
+                    "pbs_stats": pbs_stats,
+                    "consumed_values": list(run.consumed_values),
+                })
+        except BaseException:
+            # Never leave a staged capture behind — not on interpreter
+            # faults, and not on a consumer's finalize() or the commit
+            # itself failing after a successful run.
+            if capture is not None:
+                capture.abort()
+            raise
+        result = self._package(
+            wall_time,
+            outputs=dict(run.outputs),
+            instructions=run.instructions,
+            pbs_metrics=(
+                PBSMetrics.from_stats(self.engine.stats) if self.engine else None
+            ),
+            consumed_values=(
+                list(run.consumed_values) if self._record_consumed else None
+            ),
         )
+        if capture is not None:
+            result.trace_origin = "capture"
+        return result
+
+    def _replay(self, reader) -> RunResult:
+        """Rebuild a :class:`RunResult` from a stored trace, feeding the
+        recorded event stream to freshly built consumers."""
+        consumers = self._build_consumers()
+        self.engine = None
+        self.workload_run = None
+
+        started = time.perf_counter()
+        if len(consumers) == 1:
+            reader.replay(consumers[0])
+        elif consumers:
+            reader.replay(FanOut(consumers))
+        # No consumers: everything the result needs is in the metadata,
+        # so the event stream is not even decompressed.
         wall_time = time.perf_counter() - started
 
         for core in self.cores.values():
             core.finalize()
 
-        return self._package(wall_time)
+        meta = reader.meta
+        pbs_stats = meta.get("pbs_stats")
+        result = self._package(
+            wall_time,
+            outputs=dict(meta.get("outputs") or {}),
+            instructions=int(meta.get("instructions") or 0),
+            pbs_metrics=PBSMetrics(**pbs_stats) if pbs_stats else None,
+            consumed_values=(
+                list(meta.get("consumed_values") or [])
+                if self._record_consumed else None
+            ),
+        )
+        result.trace_origin = "replay"
+        return result
 
-    def _package(self, wall_time: float) -> RunResult:
+    def _resolved_pbs_config(self) -> Optional[Dict]:
         from dataclasses import asdict
 
-        run = self.workload_run
+        return asdict(self._pbs_config) if self._pbs_config is not None else None
+
+    def _package(
+        self,
+        wall_time: float,
+        outputs: Dict,
+        instructions: int,
+        pbs_metrics: Optional[PBSMetrics],
+        consumed_values: Optional[List[float]],
+    ) -> RunResult:
         result = RunResult(
             workload=self._workload,
             scale=self._scale,
             seed=self._seed,
             pbs=self._pbs_config is not None,
-            pbs_config=(
-                asdict(self._pbs_config) if self._pbs_config is not None else None
-            ),
+            pbs_config=self._resolved_pbs_config(),
             predictors={
                 label: PredictorMetrics.from_stats(label, harness.stats)
                 for label, harness in self.harnesses.items()
@@ -234,13 +372,11 @@ class Session:
                 label: CoreMetrics.from_stats(label, core.stats)
                 for label, core in self.cores.items()
             },
-            pbs_stats=(
-                PBSMetrics.from_stats(self.engine.stats) if self.engine else None
-            ),
-            outputs=dict(run.outputs),
-            instructions=run.instructions,
+            pbs_stats=pbs_metrics,
+            outputs=outputs,
+            instructions=instructions,
             wall_time=wall_time,
         )
-        if self._record_consumed:
-            result.consumed_values = list(run.consumed_values)
+        if consumed_values is not None:
+            result.consumed_values = consumed_values
         return result

@@ -19,7 +19,7 @@ count or execution order::
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache, spec_digest
@@ -56,7 +56,15 @@ def _core_config_from_dict(data: Dict):
 
 @dataclass
 class RunSpec:
-    """A picklable, cache-keyable description of one Session run."""
+    """A picklable, cache-keyable description of one Session run.
+
+    ``trace_store``/``trace_mode`` point the run at a local
+    :class:`~repro.trace.TraceStore` directory (replay the committed
+    path when the trace exists, interpret + capture otherwise).  They
+    describe *where* the run executes, not *what* it computes, so they
+    are excluded from :meth:`cache_key` — results stay bit-identical
+    and cache digests stay stable with or without a trace store.
+    """
 
     workload: str
     scale: float = DEFAULT_SCALE
@@ -67,6 +75,8 @@ class RunSpec:
     pbs_config: Optional[Dict] = None
     timing: Optional[Dict] = None
     record_consumed: bool = False
+    trace_store: Optional[str] = None
+    trace_mode: str = "auto"
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -103,6 +113,17 @@ class RunSpec:
     def digest(self) -> str:
         return spec_digest(self.cache_key())
 
+    def trace_digest(self) -> str:
+        """Digest of the committed-path trace this spec would consume —
+        shared by every spec that differs only in predictors, harness
+        options or timing configuration."""
+        from ..trace import resolved_pbs_config, trace_digest
+
+        return trace_digest(
+            self.workload, self.scale, self.seed,
+            resolved_pbs_config(self.pbs_config, self.mode == "pbs"),
+        )
+
     def session(self) -> Session:
         from ..core import PBSConfig
 
@@ -117,6 +138,8 @@ class RunSpec:
             session.timing(_core_config_from_dict(self.timing))
         if self.record_consumed:
             session.record_consumed()
+        if self.trace_store is not None:
+            session.trace(self.trace_store, self.trace_mode)
         return session
 
 
@@ -125,18 +148,24 @@ class SweepResult:
 
     def __init__(self, results: List[RunResult], cache_hits: int = 0,
                  simulated: int = 0, wall_time: float = 0.0,
-                 executor: Optional[str] = None):
+                 executor: Optional[str] = None,
+                 trace_captures: int = 0, trace_hits: int = 0):
         self.results = results
         self.cache_hits = cache_hits
         self.simulated = simulated
         self.wall_time = wall_time
         self.executor = executor
+        self.trace_captures = trace_captures
+        self.trace_hits = trace_hits
 
     def to_stats(self) -> Dict:
         """Machine-readable run summary (the ``--stats-json`` contract).
 
         ``executor`` names the backend that ran the pending specs, or
         is ``None`` when everything came from the cache.
+        ``trace_captures``/``trace_hits`` count, among the simulated
+        specs, full interpretations recorded into a trace store versus
+        replays of a stored committed path (both zero without one).
         """
         return {
             "specs": len(self.results),
@@ -144,6 +173,8 @@ class SweepResult:
             "cache_hits": self.cache_hits,
             "wall_time": self.wall_time,
             "executor": self.executor,
+            "trace_captures": self.trace_captures,
+            "trace_hits": self.trace_hits,
         }
 
     def __iter__(self):
@@ -190,6 +221,8 @@ class Sweep:
         timing=None,
         record_consumed: bool = False,
         cache_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        split_predictors: bool = False,
     ):
         self.workloads = list(workloads) if workloads is not None else None
         self.scales = tuple(scales)
@@ -208,9 +241,18 @@ class Sweep:
         self.timing = timing
         self.record_consumed = record_consumed
         self.cache_dir = cache_dir
+        self.trace_dir = str(trace_dir) if trace_dir else None
+        self.split_predictors = split_predictors
 
     def specs(self) -> List[RunSpec]:
-        """The grid, expanded in deterministic order."""
+        """The grid, expanded in deterministic order.
+
+        With ``split_predictors`` each predictor becomes its own grid
+        axis (one spec per predictor instead of one spec fanning out to
+        all of them) — finer cache granularity, and the natural shape
+        for trace reuse: all points of one ``(workload, scale, seed,
+        mode)`` group share a single interpretation.
+        """
         workloads = (
             self.workloads if self.workloads is not None else workload_names()
         )
@@ -218,13 +260,17 @@ class Sweep:
             self.predictors if self.predictors is not None
             else baseline_predictors()
         )
+        predictor_sets = (
+            [(predictor,) for predictor in predictors]
+            if self.split_predictors else [tuple(predictors)]
+        )
         return [
             RunSpec(
                 workload=workload,
                 scale=scale,
                 seed=seed,
                 mode=mode,
-                predictors=predictors,
+                predictors=predictor_set,
                 harness_options=dict(self.harness_options),
                 pbs_config=self.pbs_config if mode == "pbs" else None,
                 timing=self.timing,
@@ -234,6 +280,7 @@ class Sweep:
             for scale in self.scales
             for seed in self.seeds
             for mode in self.modes
+            for predictor_set in predictor_sets
         ]
 
     def run(
@@ -272,8 +319,32 @@ class Sweep:
             pending.append(index)
 
         executor_name = None
+        trace_captures = trace_hits = 0
         if pending:
-            todo = [specs[index] for index in pending]
+            if self.trace_dir is not None:
+                for index in pending:
+                    specs[index] = replace(
+                        specs[index], trace_store=self.trace_dir
+                    )
+                # Interpret once per trace group, replay everywhere:
+                # one leader per distinct trace key runs first (replays
+                # if the store is already warm, else interprets and
+                # captures); the followers then replay its trace.  Two
+                # executor batches, so the barrier holds on parallel
+                # and remote backends too.
+                leaders: List[int] = []
+                followers: List[int] = []
+                seen: Dict[str, int] = {}
+                for index in pending:
+                    key = specs[index].trace_digest()
+                    if key in seen:
+                        followers.append(index)
+                    else:
+                        seen[key] = index
+                        leaders.append(index)
+                batches = [leaders, followers]
+            else:
+                batches = [pending]
 
             def completed(batch_index, spec, result):
                 if cache is not None:
@@ -284,21 +355,32 @@ class Sweep:
             backend = create_executor(executor, processes)
             executor_name = backend.name
             try:
-                fresh = backend.map(todo, on_result=completed)
+                for batch in batches:
+                    if not batch:
+                        continue
+                    todo = [specs[index] for index in batch]
+                    fresh = backend.map(todo, on_result=completed)
+                    if len(fresh) != len(todo):
+                        raise RuntimeError(
+                            f"executor {backend.name!r} returned {len(fresh)} "
+                            f"results for {len(todo)} specs"
+                        )
+                    for index, result in zip(batch, fresh):
+                        results[index] = result
             finally:
                 if not isinstance(executor, Executor):
                     backend.close()  # throwaway backend owned by this call
-            if len(fresh) != len(todo):
-                raise RuntimeError(
-                    f"executor {backend.name!r} returned {len(fresh)} "
-                    f"results for {len(todo)} specs"
-                )
-            for index, result in zip(pending, fresh):
-                results[index] = result
+            for index in pending:
+                origin = getattr(results[index], "trace_origin", None)
+                if origin == "capture":
+                    trace_captures += 1
+                elif origin == "replay":
+                    trace_hits += 1
 
         return SweepResult(
             results, cache_hits=len(specs) - len(pending),
             simulated=len(pending),
             wall_time=time.perf_counter() - started,
             executor=executor_name,
+            trace_captures=trace_captures, trace_hits=trace_hits,
         )

@@ -1,0 +1,314 @@
+"""The on-disk trace encoding: struct-packed events in framed files.
+
+A trace file holds the complete committed-path event stream of one
+interpretation, plus a JSON metadata block carrying everything else a
+replay needs to rebuild a bit-identical
+:class:`~repro.sim.results.RunResult` (program outputs, retired
+instruction count, PBS engine counters, consumed probabilistic values).
+
+Layout::
+
+    header   magic "RPTC" | u16 version | u16 flags (bit0: zlib frames)
+    frames   kind u8 (1 = events, 2 = metadata) | u32 length | payload
+    trailer  u64 metadata-frame offset | magic "RPTE"
+
+Event frames concatenate fixed-prefix packed records — ``<u32 pc, u8 op,
+u8 flags, i8 dest, u8 nsrcs>`` followed by ``nsrcs`` source-register
+bytes and optional ``u32 target`` / ``u32 addr`` — and are individually
+zlib-compressed when the header flag is set.  ``next_pc`` is never
+stored: on the committed path it is always either ``pc + 1`` or the
+branch target, so one flag bit reconstructs it exactly.
+
+The trailer makes metadata reads O(1): ``repro trace info`` and the
+store's manifest rebuild never decode event frames.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..functional.trace import TraceEvent
+from ..isa.opcodes import OP_CLASS, Op
+
+#: Bump on any incompatible change to the framing or event packing.
+FORMAT_VERSION = 1
+
+MAGIC = b"RPTC"
+TRAILER_MAGIC = b"RPTE"
+
+HEADER_FLAG_ZLIB = 1
+
+FRAME_EVENTS = 1
+FRAME_META = 2
+
+#: Event-flag bits (two high bits carry the ProbMode).
+F_COND = 1
+F_TAKEN = 2
+F_STORE = 4
+F_TARGET = 8
+F_ADDR = 16
+F_NEXT_IS_TARGET = 32
+PROB_SHIFT = 6
+
+_HEADER = struct.Struct("<4sHH")
+_FRAME = struct.Struct("<BI")
+_TRAILER = struct.Struct("<Q4s")
+_EVENT = struct.Struct("<IBBbB")
+_U32 = struct.Struct("<I")
+
+#: Op value -> (member, functional-unit class), decoded once.
+_OP_BY_VALUE: Dict[int, Op] = {int(op): op for op in Op}
+_CLASS_BY_VALUE = {int(op): OP_CLASS[op] for op in Op}
+
+
+class TraceFormatError(Exception):
+    """A trace file is truncated, corrupt, or from another version."""
+
+
+def pack_event(event: TraceEvent) -> bytes:
+    """One event -> its packed record."""
+    flags = event.prob_mode << PROB_SHIFT
+    if event.is_cond_branch:
+        flags |= F_COND
+    if event.taken:
+        flags |= F_TAKEN
+    if event.is_store:
+        flags |= F_STORE
+    target = event.target
+    tail = b""
+    if target is not None:
+        flags |= F_TARGET
+        if event.next_pc == target:
+            flags |= F_NEXT_IS_TARGET
+        elif event.next_pc != event.pc + 1:
+            raise TraceFormatError(
+                f"unencodable next_pc {event.next_pc} at pc {event.pc}"
+            )
+        tail = _U32.pack(target)
+    elif event.next_pc != event.pc + 1:
+        raise TraceFormatError(
+            f"unencodable next_pc {event.next_pc} at pc {event.pc}"
+        )
+    if event.addr is not None:
+        flags |= F_ADDR
+        tail += _U32.pack(event.addr)
+    srcs = event.srcs
+    return (
+        _EVENT.pack(event.pc, event.op, flags, event.dest, len(srcs))
+        + bytes(srcs)
+        + tail
+    )
+
+
+def unpack_events(buffer: bytes) -> Iterator[TraceEvent]:
+    """Decode one event frame's payload back into live events."""
+    unpack_event = _EVENT.unpack_from
+    unpack_u32 = _U32.unpack_from
+    ops = _OP_BY_VALUE
+    classes = _CLASS_BY_VALUE
+    make = TraceEvent
+    offset = 0
+    end = len(buffer)
+    try:
+        while offset < end:
+            pc, op_value, flags, dest, nsrcs = unpack_event(buffer, offset)
+            offset += 8
+            srcs = tuple(buffer[offset:offset + nsrcs])
+            if len(srcs) != nsrcs:
+                raise TraceFormatError("corrupt event frame: truncated sources")
+            offset += nsrcs
+            if flags & F_TARGET:
+                target = unpack_u32(buffer, offset)[0]
+                offset += 4
+            else:
+                target = None
+            if flags & F_ADDR:
+                addr = unpack_u32(buffer, offset)[0]
+                offset += 4
+            else:
+                addr = None
+            yield make(
+                pc,
+                ops[op_value],
+                classes[op_value],
+                dest,
+                srcs,
+                is_cond_branch=bool(flags & F_COND),
+                taken=bool(flags & F_TAKEN),
+                target=target,
+                next_pc=target if flags & F_NEXT_IS_TARGET else pc + 1,
+                addr=addr,
+                is_store=bool(flags & F_STORE),
+                prob_mode=flags >> PROB_SHIFT,
+            )
+    except (struct.error, KeyError) as exc:
+        raise TraceFormatError(f"corrupt event frame: {exc!r}") from None
+
+
+class TraceWriter:
+    """Streams packed events into a trace file; usable directly as a sink.
+
+    Frames are flushed to disk as they fill, so memory stays bounded by
+    one frame regardless of trace length.  Call :meth:`finalize` with
+    the run metadata to write the metadata frame and trailer; an
+    unfinalized file is unreadable by design (no trailer magic).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        compress: bool = True,
+        events_per_frame: int = 65536,
+    ):
+        self.path = Path(path)
+        self.compress = compress
+        self.events_per_frame = events_per_frame
+        self.events = 0
+        self._buffer: list = []
+        self._buffered = 0
+        self._handle = open(self.path, "wb")
+        flags = HEADER_FLAG_ZLIB if compress else 0
+        self._handle.write(_HEADER.pack(MAGIC, FORMAT_VERSION, flags))
+        self._finalized = False
+
+    # The hot capture path: one call per retired instruction.
+    def __call__(self, event: TraceEvent) -> None:
+        self._buffer.append(pack_event(event))
+        self.events += 1
+        self._buffered += 1
+        if self._buffered >= self.events_per_frame:
+            self._flush_frame()
+
+    def _flush_frame(self) -> None:
+        if not self._buffered:
+            return
+        payload = b"".join(self._buffer)
+        if self.compress:
+            payload = zlib.compress(payload, 1)
+        self._handle.write(_FRAME.pack(FRAME_EVENTS, len(payload)))
+        self._handle.write(payload)
+        self._buffer.clear()
+        self._buffered = 0
+
+    def finalize(self, meta: Dict) -> None:
+        """Write the metadata frame + trailer and close the file."""
+        self._flush_frame()
+        meta = dict(meta)
+        meta["events"] = self.events
+        payload = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+        if self.compress:
+            payload = zlib.compress(payload, 6)
+        meta_offset = self._handle.tell()
+        self._handle.write(_FRAME.pack(FRAME_META, len(payload)))
+        self._handle.write(payload)
+        self._handle.write(_TRAILER.pack(meta_offset, TRAILER_MAGIC))
+        self._handle.close()
+        self._finalized = True
+
+    def abort(self) -> None:
+        """Close and delete a partial file (capture failed mid-run)."""
+        if not self._finalized:
+            self._handle.close()
+            self.path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+
+
+class TraceReader:
+    """Reads a finalized trace file: O(1) metadata, streamed events."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        with open(self.path, "rb") as handle:
+            header = handle.read(_HEADER.size)
+            if len(header) != _HEADER.size:
+                raise TraceFormatError(f"{self.path}: truncated header")
+            magic, version, flags = _HEADER.unpack(header)
+            if magic != MAGIC:
+                raise TraceFormatError(f"{self.path}: not a trace file")
+            if version != FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"{self.path}: format v{version}, reader speaks "
+                    f"v{FORMAT_VERSION}"
+                )
+            self.compressed = bool(flags & HEADER_FLAG_ZLIB)
+            size = os.fstat(handle.fileno()).st_size
+            if size < _HEADER.size + _TRAILER.size:
+                raise TraceFormatError(f"{self.path}: truncated file")
+            handle.seek(size - _TRAILER.size)
+            trailer = handle.read(_TRAILER.size)
+            meta_offset, trailer_magic = _TRAILER.unpack(trailer)
+            if trailer_magic != TRAILER_MAGIC:
+                raise TraceFormatError(
+                    f"{self.path}: missing trailer (unfinalized capture?)"
+                )
+            self._meta_offset = meta_offset
+            handle.seek(meta_offset)
+            kind, payload = self._read_frame(handle)
+            if kind != FRAME_META:
+                raise TraceFormatError(f"{self.path}: trailer points at kind {kind}")
+            try:
+                self.meta: Dict = json.loads(payload)
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"{self.path}: corrupt metadata: {exc}"
+                ) from None
+
+    def _read_frame(self, handle) -> tuple:
+        raw = handle.read(_FRAME.size)
+        if len(raw) != _FRAME.size:
+            raise TraceFormatError(f"{self.path}: truncated frame header")
+        kind, length = _FRAME.unpack(raw)
+        payload = handle.read(length)
+        if len(payload) != length:
+            raise TraceFormatError(f"{self.path}: truncated frame payload")
+        if self.compressed:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise TraceFormatError(
+                    f"{self.path}: corrupt frame: {exc}"
+                ) from None
+        return kind, payload
+
+    @property
+    def events_count(self) -> int:
+        return int(self.meta.get("events", 0))
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Stream the recorded events, one frame in memory at a time."""
+        with open(self.path, "rb") as handle:
+            handle.seek(_HEADER.size)
+            while handle.tell() < self._meta_offset:
+                kind, payload = self._read_frame(handle)
+                if kind != FRAME_EVENTS:
+                    raise TraceFormatError(
+                        f"{self.path}: unexpected frame kind {kind}"
+                    )
+                yield from unpack_events(payload)
+
+    def replay(self, sink) -> int:
+        """Feed every event to ``sink``; returns the event count."""
+        count = 0
+        for event in self.events():
+            sink(event)
+            count += 1
+        return count
+
+
+def read_meta(path: Union[str, Path]) -> Optional[Dict]:
+    """Metadata of a trace file, or ``None`` if it is unreadable."""
+    try:
+        return TraceReader(path).meta
+    except (OSError, TraceFormatError):
+        return None

@@ -1,0 +1,201 @@
+"""Content-addressed trace storage.
+
+A :class:`TraceStore` is a :class:`~repro.storage.ShardedStore` of
+``<digest[:2]>/<digest>.trace`` files.  The digest is computed from the
+**trace key** — ``(workload, scale, seed, resolved PBS config)`` plus
+the trace format version — which is exactly the set of parameters that
+determines the committed-path event stream.  Grid points that differ
+only in predictors, harness options or timing configuration share one
+trace: interpret once, replay everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional
+
+from ..storage import ShardedStore, canonical_digest
+from .format import FORMAT_VERSION, TraceFormatError, TraceReader, TraceWriter
+
+
+def resolved_pbs_config(pbs_config: Optional[Dict], enabled: bool) -> Optional[Dict]:
+    """The canonical PBS config dict for a trace key.
+
+    ``None`` with PBS enabled means the paper's default
+    :class:`~repro.core.PBSConfig`; it is expanded so that a spec saying
+    "default" and a spec spelling the default out land on one trace.
+    """
+    if not enabled:
+        return None
+    from dataclasses import asdict
+
+    from ..core import PBSConfig
+
+    # Expand through PBSConfig so a partial dict, the spelled-out
+    # default and None all land on the digest the Session actually
+    # stores the trace under.
+    return asdict(PBSConfig(**pbs_config) if pbs_config else PBSConfig())
+
+
+def trace_key(
+    workload: str,
+    scale: float,
+    seed: int,
+    pbs_config: Optional[Dict],
+) -> Dict:
+    """The canonical (JSON-serializable) identity of one event stream."""
+    return {
+        "workload": workload,
+        "scale": scale,
+        "seed": seed,
+        "pbs_config": pbs_config,
+        "__trace_version__": FORMAT_VERSION,
+    }
+
+
+def trace_digest(
+    workload: str,
+    scale: float,
+    seed: int,
+    pbs_config: Optional[Dict],
+) -> str:
+    return canonical_digest(trace_key(workload, scale, seed, pbs_config))
+
+
+class TraceStore(ShardedStore):
+    """A sharded directory of captured traces, keyed by trace digest."""
+
+    suffix = ".trace"
+
+    def _entry_meta(self, digest: str) -> Dict:
+        entry = {"digest": digest}
+        entry.update(self._describe(digest))
+        return entry
+
+    def _describe(self, digest: str) -> Dict:
+        from .format import read_meta
+
+        path = self.path(digest)
+        meta = read_meta(path)
+        if meta is None:
+            return {}
+        described = {
+            key: meta.get(key)
+            for key in ("workload", "scale", "seed", "events", "instructions")
+        }
+        described["mode"] = "pbs" if meta.get("pbs_config") else "base"
+        try:
+            described["bytes"] = path.stat().st_size
+        except OSError:
+            pass
+        return described
+
+    # -- entries --------------------------------------------------------
+
+    def open(self, digest: str) -> Optional[TraceReader]:
+        """A reader for ``digest``, or ``None`` (counts as a miss)."""
+        path = self.path(digest)
+        try:
+            reader = TraceReader(path)
+        except (OSError, TraceFormatError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return reader
+
+    def writer(self, digest: str, compress: bool = True) -> "TraceCapture":
+        """A capture handle staging into a temp file; ``commit(meta)``
+        atomically publishes it under ``digest``."""
+        path = self.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f".{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        return TraceCapture(self, digest, tmp, compress=compress)
+
+    def gc(self, clear: bool = False) -> Dict:
+        """Drop unreadable, stale-version or (with ``clear``) all traces.
+
+        Temp files of captures that crashed are reclaimed once they go
+        stale (an hour without a write); live captures are untouched.
+        The closing manifest compaction, however, can drop entries a
+        concurrent capture commits mid-gc — prefer running gc while no
+        sweep is writing to the store.
+
+        Returns ``{"removed": n, "kept": n, "reclaimed_bytes": n}``.
+        """
+        from .format import read_meta
+
+        removed = kept = reclaimed = 0
+        # Candidates come from the manifest *and* a shard scan, so a
+        # trace orphaned between its atomic rename and the manifest
+        # append (crash window) is still reclaimable.
+        candidates = set(self.digests())
+        for path in self.root.glob(f"??/*{self.suffix}"):
+            candidates.add(path.stem)
+        for digest in sorted(candidates):
+            path = self.path(digest)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            if clear or read_meta(path) is None:
+                self.remove(digest)
+                removed += 1
+                reclaimed += size
+            else:
+                kept += 1
+                if self.entry(digest) is None:
+                    # A valid orphan (crash before the manifest append):
+                    # adopt it so `trace ls` and replay lookups see it.
+                    self._record(digest, self._entry_meta(digest))
+        # Also sweep stray temp files from *crashed* captures.  A live
+        # capture flushes frames as they fill, so its temp file's mtime
+        # stays fresh; only files stale for an hour or more are safe to
+        # reclaim while sweeps may be running concurrently.
+        import time as _time
+
+        stale_before = _time.time() - 3600.0
+        for shard in self.root.glob("??"):
+            if not shard.is_dir():
+                continue
+            for stray in shard.glob(".*.tmp"):
+                try:
+                    if stray.stat().st_mtime >= stale_before:
+                        continue
+                    reclaimed += stray.stat().st_size
+                    stray.unlink()
+                except OSError:
+                    pass
+        self.compact()
+        return {"removed": removed, "kept": kept, "reclaimed_bytes": reclaimed}
+
+
+class TraceCapture:
+    """One in-flight capture: a :class:`TraceWriter` bound to a store slot."""
+
+    def __init__(self, store: TraceStore, digest: str, tmp_path, compress=True):
+        self.store = store
+        self.digest = digest
+        self.writer = TraceWriter(tmp_path, compress=compress)
+
+    @property
+    def sink(self):
+        """The event sink to attach to the interpreter."""
+        return self.writer
+
+    def commit(self, meta: Dict) -> None:
+        """Finalize the file and publish it atomically under the digest."""
+        self.writer.finalize(meta)
+        path = self.store.path(self.digest)
+        os.replace(self.writer.path, path)
+        entry = {"digest": self.digest}
+        entry.update(self.store._describe(self.digest))
+        self.store._record(self.digest, entry)
+
+    def abort(self) -> None:
+        self.writer.abort()
+        # A commit that failed between finalize() and the atomic rename
+        # leaves a finalized temp file the writer no longer owns.
+        self.writer.path.unlink(missing_ok=True)

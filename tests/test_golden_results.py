@@ -12,6 +12,7 @@ commit the new fixtures alongside the change.
 """
 
 import json
+from dataclasses import replace
 
 import pytest
 
@@ -77,6 +78,42 @@ def test_executor_reproduces_golden_corpus(name, worker):
         assert normalized_json(result) == expected, (
             f"executor {name!r} diverged from {entry['fixture']}"
         )
+
+
+@pytest.mark.parametrize("name", sorted(EXECUTORS))
+def test_capture_then_replay_reproduces_golden_corpus(name, tmp_path):
+    # Every fixture must also be reproducible through the trace layer:
+    # a first pass interprets + captures each spec's committed path
+    # (specs sharing a trace key replay within the pass), a second pass
+    # replays everything — and both passes match the fixtures byte for
+    # byte.  The remote backend runs against a worker owning the store.
+    entries = _manifest()
+    specs = [
+        replace(RunSpec.from_dict(entry["spec"]), trace_store=str(tmp_path))
+        for entry in entries
+    ]
+    server = None
+    if name == "remote":
+        server = WorkerServer(processes=1, trace_dir=str(tmp_path)).start()
+        executor = create_executor(name, workers=[server.address_string])
+    else:
+        executor = create_executor(name, processes=2)
+    try:
+        first = executor.map(specs)
+        second = executor.map(specs)
+    finally:
+        executor.close()
+        if server is not None:
+            server.stop()
+    for entry, captured, replayed in zip(entries, first, second):
+        expected = (GOLDEN_DIR / entry["fixture"]).read_text()
+        assert normalized_json(captured) == expected, (
+            f"capture pass under {name!r} diverged from {entry['fixture']}"
+        )
+        assert normalized_json(replayed) == expected, (
+            f"replay pass under {name!r} diverged from {entry['fixture']}"
+        )
+    assert all(result.trace_origin == "replay" for result in second)
 
 
 def test_remote_matches_serial_on_16_point_grid(worker):

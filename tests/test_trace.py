@@ -1,0 +1,424 @@
+"""Tests for the repro.trace subsystem: binary format, content-addressed
+store, Session capture/replay, Sweep trace planning, and the shared
+sharded-store helper."""
+
+import json
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.core import PBSConfig
+from repro.functional.trace import ProbMode, TraceEvent
+from repro.isa.opcodes import OP_CLASS, Op
+from repro.sim import RemoteExecutor, RunSpec, Session, Sweep, WorkerServer
+from repro.storage import ShardedStore, canonical_digest
+from repro.trace import (
+    TraceFormatError,
+    TraceReader,
+    TraceStore,
+    TraceWriter,
+    pack_event,
+    trace_digest,
+    unpack_events,
+)
+
+SCALE = 0.02
+
+
+def _normalized(result) -> str:
+    return replace(result, wall_time=0.0).to_json(indent=2)
+
+
+def _event(**overrides) -> TraceEvent:
+    base = dict(
+        pc=7, op=Op.ADD, op_class=OP_CLASS[Op.ADD], dest=3, srcs=(1, 2),
+        is_cond_branch=False, taken=False, target=None, next_pc=8,
+        addr=None, is_store=False, prob_mode=ProbMode.NOT_PROB,
+    )
+    base.update(overrides)
+    return TraceEvent(**base)
+
+
+EVENT_FIELDS = TraceEvent.__slots__
+
+
+def _assert_events_equal(a: TraceEvent, b: TraceEvent):
+    for field in EVENT_FIELDS:
+        assert getattr(a, field) == getattr(b, field), field
+
+
+class TestEventPacking:
+    CASES = [
+        _event(),
+        _event(op=Op.HALT, op_class=OP_CLASS[Op.HALT], dest=-1, srcs=()),
+        _event(op=Op.BLT, op_class=OP_CLASS[Op.BLT], dest=-1,
+               is_cond_branch=True, taken=True, target=2, next_pc=2),
+        _event(op=Op.BLT, op_class=OP_CLASS[Op.BLT], dest=-1,
+               is_cond_branch=True, taken=False, target=2, next_pc=8),
+        _event(op=Op.JMP, op_class=OP_CLASS[Op.JMP], dest=-1, srcs=(),
+               target=100, next_pc=100),
+        _event(op=Op.LOAD, op_class=OP_CLASS[Op.LOAD], srcs=(4,), addr=123),
+        _event(op=Op.STORE, op_class=OP_CLASS[Op.STORE], dest=-1,
+               srcs=(5, 6), addr=99, is_store=True),
+        _event(op=Op.PROB_JMP, op_class=OP_CLASS[Op.PROB_JMP], dest=-1,
+               is_cond_branch=True, taken=True, target=3, next_pc=3,
+               prob_mode=ProbMode.PBS_HIT),
+        _event(op=Op.PROB_JMP, op_class=OP_CLASS[Op.PROB_JMP], dest=-1,
+               is_cond_branch=True, taken=False, target=3, next_pc=8,
+               prob_mode=ProbMode.PREDICTED),
+        # A taken branch whose target happens to be the fall-through.
+        _event(op=Op.JT, op_class=OP_CLASS[Op.JT], dest=-1, srcs=(),
+               is_cond_branch=True, taken=True, target=8, next_pc=8),
+    ]
+
+    def test_roundtrip_preserves_every_field(self):
+        payload = b"".join(pack_event(event) for event in self.CASES)
+        decoded = list(unpack_events(payload))
+        assert len(decoded) == len(self.CASES)
+        for original, restored in zip(self.CASES, decoded):
+            _assert_events_equal(original, restored)
+
+    def test_corrupt_payload_raises(self):
+        payload = pack_event(self.CASES[0])
+        with pytest.raises(TraceFormatError):
+            list(unpack_events(payload[:-1]))
+
+
+class TestTraceFile:
+    def _capture(self, tmp_path, events, compress=True, meta=None):
+        path = tmp_path / "t.trace"
+        writer = TraceWriter(path, compress=compress, events_per_frame=4)
+        for event in events:
+            writer(event)
+        writer.finalize(meta or {"workload": "x"})
+        return path
+
+    def test_write_read_with_framing_and_compression(self, tmp_path):
+        events = TestEventPacking.CASES * 5  # several frames at 4/frame
+        for compress in (True, False):
+            path = self._capture(tmp_path, events, compress=compress)
+            reader = TraceReader(path)
+            assert reader.events_count == len(events)
+            assert reader.meta["workload"] == "x"
+            decoded = list(reader.events())
+            assert len(decoded) == len(events)
+            for original, restored in zip(events, decoded):
+                _assert_events_equal(original, restored)
+
+    def test_unfinalized_file_is_unreadable(self, tmp_path):
+        path = tmp_path / "partial.trace"
+        writer = TraceWriter(path)
+        writer(_event())
+        writer._flush_frame()
+        writer._handle.close()
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+    def test_truncated_and_corrupt_files_raise(self, tmp_path):
+        path = self._capture(tmp_path, TestEventPacking.CASES)
+        raw = path.read_bytes()
+        for mutation in (raw[:10], b"XXXX" + raw[4:], raw[:-4] + b"!!!!"):
+            bad = tmp_path / "bad.trace"
+            bad.write_bytes(mutation)
+            with pytest.raises(TraceFormatError):
+                TraceReader(bad)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = self._capture(tmp_path, [_event()])
+        raw = bytearray(path.read_bytes())
+        raw[4] = 99  # bump the little-endian u16 version field
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+
+class TestTraceDigest:
+    def test_default_pbs_config_is_expanded(self):
+        spelled_out = trace_digest("pi", 0.5, 1, asdict(PBSConfig()))
+        spec_default = RunSpec("pi", scale=0.5, seed=1, mode="pbs")
+        assert spec_default.trace_digest() == spelled_out
+        session_digest = Session("pi", scale=0.5, seed=1).pbs().trace_digest()
+        assert session_digest == spelled_out
+
+    def test_partial_pbs_config_expands_to_session_digest(self):
+        # A spec spelling only part of the PBS config must land on the
+        # digest the Session actually stores the trace under.
+        spec = RunSpec("pi", scale=SCALE, seed=1, mode="pbs",
+                       pbs_config={"num_branches": 2})
+        assert spec.trace_digest() == spec.session().trace_digest()
+
+    def test_key_dimensions(self):
+        base = RunSpec("pi", scale=SCALE, seed=1).trace_digest()
+        assert RunSpec("pi", scale=SCALE, seed=2).trace_digest() != base
+        assert RunSpec("dop", scale=SCALE, seed=1).trace_digest() != base
+        assert RunSpec("pi", scale=0.1, seed=1).trace_digest() != base
+        assert RunSpec("pi", scale=SCALE, seed=1, mode="pbs").trace_digest() != base
+
+    def test_predictors_timing_and_trace_fields_share_one_trace(self):
+        base = RunSpec("pi", scale=SCALE, seed=1).trace_digest()
+        assert RunSpec(
+            "pi", scale=SCALE, seed=1, predictors=("tournament", "gshare"),
+        ).trace_digest() == base
+        assert RunSpec(
+            "pi", scale=SCALE, seed=1, trace_store="/somewhere",
+        ).trace_digest() == base
+
+    def test_trace_fields_do_not_change_cache_digest(self):
+        spec = RunSpec("pi", scale=SCALE, seed=1, predictors=("tournament",))
+        traced = replace(spec, trace_store="/tmp/traces", trace_mode="replay")
+        assert spec.digest() == traced.digest()
+        assert "trace_store" not in spec.cache_key()
+
+
+class TestTraceStore:
+    def _capture_one(self, store, digest, events=None, meta=None):
+        capture = store.writer(digest)
+        for event in events or TestEventPacking.CASES:
+            capture.sink(event)
+        capture.commit(meta or {
+            "workload": "pi", "scale": SCALE, "seed": 1, "pbs_config": None,
+        })
+
+    def test_miss_then_capture_then_open(self, tmp_path):
+        store = TraceStore(tmp_path)
+        digest = trace_digest("pi", SCALE, 1, None)
+        assert store.open(digest) is None
+        assert store.misses == 1
+        self._capture_one(store, digest)
+        reader = store.open(digest)
+        assert reader is not None and store.hits == 1
+        assert reader.events_count == len(TestEventPacking.CASES)
+        entry = store.entry(digest)
+        assert entry["workload"] == "pi" and entry["mode"] == "base"
+        assert entry["events"] == len(TestEventPacking.CASES)
+        assert digest in store and len(store) == 1
+
+    def test_sharded_layout_and_manifest(self, tmp_path):
+        store = TraceStore(tmp_path)
+        digest = trace_digest("pi", SCALE, 2, None)
+        self._capture_one(store, digest)
+        assert (tmp_path / digest[:2] / f"{digest}.trace").exists()
+        assert (tmp_path / "manifest.jsonl").exists()
+        # A fresh open sees the manifest; deleting it rebuilds from shards.
+        assert digest in TraceStore(tmp_path)
+        (tmp_path / "manifest.jsonl").unlink()
+        rebuilt = TraceStore(tmp_path)
+        assert digest in rebuilt
+        assert rebuilt.entry(digest)["workload"] == "pi"
+
+    def test_gc_drops_corrupt_keeps_good(self, tmp_path):
+        store = TraceStore(tmp_path)
+        good = trace_digest("pi", SCALE, 1, None)
+        bad = trace_digest("pi", SCALE, 2, None)
+        self._capture_one(store, good)
+        self._capture_one(store, bad)
+        store.path(bad).write_bytes(b"garbage")
+        summary = store.gc()
+        assert summary == {
+            "removed": 1, "kept": 1,
+            "reclaimed_bytes": summary["reclaimed_bytes"],
+        }
+        assert summary["reclaimed_bytes"] > 0
+        # The gc is durable across reopen (manifest compacted).
+        reopened = TraceStore(tmp_path)
+        assert good in reopened and bad not in reopened
+        assert reopened.gc(clear=True)["removed"] == 1
+        assert len(TraceStore(tmp_path)) == 0
+
+    def test_gc_handles_manifest_orphans(self, tmp_path):
+        # A crash between the atomic rename and the manifest append
+        # leaves a valid but unindexed trace: gc adopts it, and
+        # gc(clear=True) can always reclaim it.
+        store = TraceStore(tmp_path)
+        digest = trace_digest("pi", SCALE, 7, None)
+        self._capture_one(store, digest)
+        (tmp_path / "manifest.jsonl").write_text("")  # lose the index
+        orphaned = TraceStore(tmp_path)
+        assert len(orphaned) == 0
+        summary = orphaned.gc()
+        assert summary["kept"] == 1 and summary["removed"] == 0
+        assert orphaned.entry(digest)["workload"] == "pi"  # adopted
+        (tmp_path / "manifest.jsonl").write_text("")
+        wiped = TraceStore(tmp_path)
+        assert wiped.gc(clear=True)["removed"] == 1
+        assert not list(tmp_path.glob("??/*.trace"))
+
+    def test_abort_leaves_no_entry(self, tmp_path):
+        store = TraceStore(tmp_path)
+        digest = trace_digest("pi", SCALE, 3, None)
+        capture = store.writer(digest)
+        capture.sink(_event())
+        capture.abort()
+        assert store.open(digest) is None
+        assert not list(tmp_path.glob("??/*"))
+
+
+class TestShardedStoreHelper:
+    """The shared helper itself, via a minimal text-entry subclass."""
+
+    class TextStore(ShardedStore):
+        suffix = ".txt"
+
+        def put(self, digest, text):
+            self.write_entry(digest, text, meta={"note": text[:3]})
+
+    def test_write_entry_digests_and_clear(self, tmp_path):
+        store = self.TextStore(tmp_path)
+        digests = [canonical_digest({"i": i}) for i in range(3)]
+        for digest in digests:
+            store.put(digest, f"payload-{digest[:4]}")
+        assert len(store) == 3
+        assert store.digests() == sorted(digests)
+        prefix = digests[0][:8]
+        assert store.digests(prefix) == [digests[0]]
+        assert store.entry(digests[1])["note"] == "pay"
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert store.clear() == 3
+        assert len(store) == 0 and not (tmp_path / "manifest.jsonl").exists()
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = self.TextStore(tmp_path)
+        digest = canonical_digest({"x": 1})
+        store.put(digest, "hello")
+        shard = tmp_path / digest[:2]
+        assert [p.name for p in shard.iterdir()] == [f"{digest}.txt"]
+
+
+class TestSessionCaptureReplay:
+    @pytest.mark.parametrize("pbs", [False, True])
+    @pytest.mark.parametrize("timing", [False, True])
+    def test_bit_identical_across_modes(self, tmp_path, pbs, timing):
+        def build(with_trace):
+            session = Session("pi", scale=SCALE, seed=3).predictors(
+                "tournament", "tage-sc-l"
+            )
+            if pbs:
+                session.pbs()
+            if timing:
+                session.timing()
+            if with_trace:
+                session.trace(tmp_path)
+            return session
+
+        plain = build(False).run()
+        captured = build(True).run()
+        replayed = build(True).run()
+        assert captured.trace_origin == "capture"
+        assert replayed.trace_origin == "replay"
+        assert _normalized(plain) == _normalized(captured) == _normalized(replayed)
+
+    def test_record_consumed_survives_replay(self, tmp_path):
+        plain = Session("pi", scale=SCALE, seed=3).pbs().record_consumed().run()
+        session = Session("pi", scale=SCALE, seed=3).pbs().record_consumed()
+        session.trace(tmp_path)
+        assert session.run().trace_origin == "capture"
+        replayed = session.run()
+        assert replayed.trace_origin == "replay"
+        assert replayed.consumed_values == plain.consumed_values
+        assert _normalized(plain) == _normalized(replayed)
+
+    def test_replay_mode_raises_on_missing_trace(self, tmp_path):
+        with pytest.raises(LookupError):
+            Session("pi", scale=SCALE, seed=5).trace(tmp_path, mode="replay").run()
+
+    def test_capture_mode_always_reinterprets(self, tmp_path):
+        session = Session("pi", scale=SCALE, seed=5).trace(tmp_path, mode="capture")
+        assert session.run().trace_origin == "capture"
+        assert session.run().trace_origin == "capture"
+
+    def test_trace_origin_never_serialized(self, tmp_path):
+        result = Session("pi", scale=SCALE, seed=5).trace(tmp_path).run()
+        assert result.trace_origin == "capture"
+        assert "trace_origin" not in result.to_dict()
+        assert "trace_origin" not in json.loads(result.to_json())
+
+
+# The acceptance grid: a predictor-only sweep, >= 4 predictors x 2
+# seeds on one workload.  With a trace store, each (workload, scale,
+# seed, PBS-config) group must be interpreted exactly once and replayed
+# for every other point — on every executor, including remote — while
+# staying bit-identical to the no-trace-store path.
+ACCEPTANCE_GRID = dict(
+    workloads=["pi"],
+    scales=(SCALE,),
+    seeds=(0, 1),
+    predictors=("tournament", "tage-sc-l", "gshare", "perceptron"),
+    split_predictors=True,
+)
+ACCEPTANCE_GROUPS = 2 * 2   # seeds x modes
+ACCEPTANCE_POINTS = 2 * 2 * 4  # seeds x modes x predictors
+
+
+class TestSweepTracePlanning:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return Sweep(**ACCEPTANCE_GRID).run(executor="serial")
+
+    def _check(self, baseline, traced):
+        stats = traced.to_stats()
+        assert stats["trace_captures"] == ACCEPTANCE_GROUPS, stats
+        assert stats["trace_hits"] == ACCEPTANCE_POINTS - ACCEPTANCE_GROUPS, stats
+        for plain, shared in zip(baseline, traced):
+            assert _normalized(plain) == _normalized(shared)
+
+    @pytest.mark.parametrize("name", ["serial", "process", "pool"])
+    def test_local_executors_interpret_once_per_group(
+        self, tmp_path, baseline, name
+    ):
+        traced = Sweep(**ACCEPTANCE_GRID, trace_dir=tmp_path).run(
+            processes=2, executor=name
+        )
+        self._check(baseline, traced)
+        # A second sweep over the warm store replays everything.
+        warm = Sweep(**ACCEPTANCE_GRID, trace_dir=tmp_path).run(executor=name)
+        stats = warm.to_stats()
+        assert stats["trace_captures"] == 0
+        assert stats["trace_hits"] == ACCEPTANCE_POINTS
+        for plain, shared in zip(baseline, warm):
+            assert _normalized(plain) == _normalized(shared)
+
+    def test_remote_executor_reuses_worker_local_store(self, tmp_path, baseline):
+        server = WorkerServer(processes=1, trace_dir=str(tmp_path / "worker")).start()
+        try:
+            executor = RemoteExecutor(workers=[server.address_string])
+            traced = Sweep(
+                **ACCEPTANCE_GRID, trace_dir=tmp_path / "client-unused"
+            ).run(executor=executor)
+            self._check(baseline, traced)
+            telemetry = executor.telemetry[server.address_string]
+            assert telemetry["trace_hits"] > 0
+        finally:
+            server.stop()
+        # Nothing was captured on the client side of the wire.
+        assert not list((tmp_path / "client-unused").glob("??/*.trace"))
+
+    def test_worker_without_trace_store_degrades_gracefully(
+        self, tmp_path, baseline
+    ):
+        server = WorkerServer(processes=1).start()
+        try:
+            executor = RemoteExecutor(workers=[server.address_string])
+            traced = Sweep(**ACCEPTANCE_GRID, trace_dir=tmp_path).run(
+                executor=executor
+            )
+        finally:
+            server.stop()
+        stats = traced.to_stats()
+        assert stats["trace_captures"] == 0 and stats["trace_hits"] == 0
+        for plain, shared in zip(baseline, traced):
+            assert _normalized(plain) == _normalized(shared)
+
+    def test_cache_and_trace_compose(self, tmp_path):
+        grid = dict(workloads=["pi"], scales=(SCALE,), seeds=(0,),
+                    predictors=("tournament", "gshare"), split_predictors=True,
+                    cache_dir=tmp_path / "cache", trace_dir=tmp_path / "traces")
+        first = Sweep(**grid).run(executor="serial")
+        assert first.to_stats()["trace_captures"] == 2  # base + pbs groups
+        second = Sweep(**grid).run(executor="serial")
+        stats = second.to_stats()
+        # Everything comes from the result cache; the trace layer idles.
+        assert stats["cache_hits"] == len(second)
+        assert stats["trace_captures"] == stats["trace_hits"] == 0
+        for a, b in zip(first, second):
+            assert _normalized(a) == _normalized(b)
