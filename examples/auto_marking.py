@@ -16,6 +16,8 @@ kernel through the library's auto-marking pass, which
 Run:  python examples/auto_marking.py
 """
 
+import os
+
 from repro.branch import TageSCL
 from repro.compiler import mark_probabilistic_branches
 from repro.core import PBSEngine
@@ -23,10 +25,13 @@ from repro.functional import Executor
 from repro.isa import assemble, disassemble
 from repro.pipeline import OoOCore, four_wide
 
-UNMARKED = """
+# CI's docs-smoke job shrinks every example via REPRO_EXAMPLE_SCALE.
+ITERATIONS = max(1, int(8000 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))))
+
+UNMARKED = f"""
 ; monte carlo kernel, written WITHOUT probabilistic instructions
     li   r1, 0          ; hits
-    li   r2, 8000       ; iterations
+    li   r2, {ITERATIONS}       ; iterations
     li   r3, 0          ; i
     fli  f4, 0.6        ; a loop-invariant threshold
 loop:
@@ -70,7 +75,7 @@ def main():
           f"MPKI {base_stats.mpki:.3f}")
     print(f"auto-marked + PBS    : IPC {pbs_stats.ipc:.3f}, "
           f"MPKI {pbs_stats.mpki:.3f}")
-    print(f"outputs: {base_hits} vs {pbs_hits} hits of 8000")
+    print(f"outputs: {base_hits} vs {pbs_hits} hits of {ITERATIONS}")
 
     stack_base = base_stats.cpi_stack(width=4)
     stack_pbs = pbs_stats.cpi_stack(width=4)

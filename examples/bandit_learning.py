@@ -13,13 +13,16 @@ shows
 Run:  python examples/bandit_learning.py
 """
 
+import os
+
 from repro.branch import TageSCL, Tournament
 from repro.core import PBSConfig, PBSEngine
 from repro.pipeline import OoOCore, four_wide
 from repro.workloads import get_workload
 from repro.workloads.bandit import ARM_PROBS, BEST_PROB
 
-SCALE = 1.0
+# CI's docs-smoke job shrinks every example via REPRO_EXAMPLE_SCALE.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
 SEED = 3
 
 

@@ -19,13 +19,18 @@ from repro.functional import Executor
 from repro.isa import assemble
 from repro.pipeline import OoOCore, four_wide
 
+import os
+
+# CI's docs-smoke job shrinks every example via REPRO_EXAMPLE_SCALE.
+PARTICLES = max(1, int(4000 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))))
+
 # A particle survives each step with probability 0.9; count how many of
-# 4000 particles survive at least 20 steps.  The survival branch is
+# PARTICLES particles survive at least 20 steps.  The survival branch is
 # probabilistic (marked with prob_cmp / prob_jmp).
-KERNEL = """
+KERNEL = f"""
 ; stochastic survival kernel
     li   r1, 0          ; survivors
-    li   r2, 4000       ; particles
+    li   r2, {PARTICLES}        ; particles
     li   r3, 0          ; particle index
 particle:
     li   r4, 0          ; step
@@ -78,7 +83,7 @@ def main():
     print(f"\nPBS on TAGE-SC-L: {base_stats.cycles / pbs_stats.cycles:.2f}x "
           f"speedup, {engine.stats.hit_rate * 100:.1f}% hit rate")
     print(f"output deviation: {abs(base_survivors - pbs_survivors)} "
-          f"survivors out of 4000")
+          f"survivors out of {PARTICLES}")
     print("\nNote the survival branch sits in a nested per-particle loop: "
           "PBS re-bootstraps after every loop exit (the paper's "
           "Context-Table flush), which is why the hit rate is below the "

@@ -13,12 +13,15 @@ so PBS must swap register values, not just steer fetch.
 Run:  python examples/option_pricing.py
 """
 
+import os
+
 from repro.branch import TageSCL, Tournament
 from repro.core import PBSEngine
 from repro.pipeline import OoOCore, four_wide
 from repro.workloads import get_workload
 
-SCALE = 0.5
+# CI's docs-smoke job shrinks every example via REPRO_EXAMPLE_SCALE.
+SCALE = 0.5 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
 SEED = 7
 
 

@@ -7,9 +7,19 @@ direction depends on freshly drawn random values — registers it as a
 workload plugin, and drives it with a `Session`: the benchmark is
 interpreted once per configuration, fanning the trace out to the 8 KB
 TAGE-SC-L timing core, with and without Probabilistic Branch Support.
+It then captures the committed path into a trace store, replays it for
+a different predictor with no re-interpretation, and runs a trace-native
+analysis pass over the stored stream.
 
 Run:  python examples/quickstart.py
+
+Where to next: docs/index.md maps the documentation suite — the
+Session/Sweep API reference (docs/api.md), the trace layer this script
+captures into (docs/traces.md), the analysis toolkit it finishes with
+(docs/analysis.md), and distributed execution (docs/distributed.md).
 """
+
+import os
 
 from repro.core import hardware_cost
 from repro.isa import F, ProgramBuilder, R
@@ -17,6 +27,10 @@ from repro.sim import Session, register_workload
 from repro.workloads import PaperFacts, Workload
 
 ITERATIONS = 20_000
+
+#: CI's docs-smoke job runs every example at a tiny scale; humans get
+#: the full-size run by default.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
 
 
 @register_workload
@@ -69,8 +83,10 @@ class QuickstartWorkload(Workload):
 
 
 def main():
+    iterations = max(1, int(ITERATIONS * SCALE))
+
     def timed(pbs: bool):
-        session = Session("quickstart", scale=1.0, seed=42)
+        session = Session("quickstart", scale=SCALE, seed=42)
         session.predictors("tage-sc-l").timing()
         if pbs:
             session.pbs()
@@ -96,7 +112,7 @@ def main():
     base_count = int(baseline.outputs["taken_count"])
     pbs_count = int(with_pbs.outputs["taken_count"])
     print(f"algorithm output: {base_count} vs {pbs_count} "
-          f"({abs(base_count - pbs_count)} off out of {ITERATIONS} — the "
+          f"({abs(base_count - pbs_count)} off out of {iterations} — the "
           "bootstrap replay effect, Section IV of the paper)")
     print(f"\nPBS engine: {with_pbs.pbs_stats.hits} hits, "
           f"{with_pbs.pbs_stats.bootstraps} bootstrap executions")
@@ -108,18 +124,18 @@ def main():
     # config).  Attaching a trace store records it on the first run;
     # every later run that differs only in predictors or core config
     # replays the stored events instead of re-interpreting — with a
-    # bit-identical RunResult.
+    # bit-identical RunResult.  Full tour: docs/traces.md.
     import tempfile
 
     with tempfile.TemporaryDirectory() as trace_store:
         captured = (
-            Session("quickstart", scale=1.0, seed=42)
+            Session("quickstart", scale=SCALE, seed=42)
             .predictors("tage-sc-l")
             .trace(trace_store)
             .run()
         )
         replayed = (
-            Session("quickstart", scale=1.0, seed=42)
+            Session("quickstart", scale=SCALE, seed=42)
             .predictors("tournament")      # different predictor, same trace
             .trace(trace_store)
             .run()
@@ -128,6 +144,21 @@ def main():
               f"committed path ({captured.instructions} instructions), "
               f"second run {replayed.trace_origin}ed it "
               f"in {replayed.wall_time:.3f}s with no interpreter")
+
+        # --- study the stored stream itself (repro.analysis) ---------
+        # A stored trace is a corpus: analysis passes replay it with no
+        # Session at all.  The entropy study shows why PBS works — the
+        # probabilistic branch carries ~0.75 bits/execution that no
+        # predictor can learn; the loop branch carries ~0.  On the
+        # command line: `pbs-experiments analyze`.  Tour: docs/analysis.md.
+        from repro.analysis import analyze_store
+
+        report = analyze_store(trace_store, passes=["branch-entropy"])[0]
+        print("\nbranch entropy from the stored trace (docs/analysis.md):")
+        for row in report["analyses"]["branch-entropy"]["per_branch"]:
+            kind = "probabilistic" if row["probabilistic"] else "regular"
+            print(f"  pc={row['pc']:<4d} {kind:13s} p(taken)={row['taken_rate']:.3f}"
+                  f"  {row['entropy_bits']:.3f} bits/execution")
 
     print("\nPBS hardware budget (paper Section V-C2):")
     print(hardware_cost().render())

@@ -20,13 +20,20 @@ This example shows all three ways the system can handle it:
 Run:  python examples/simulated_annealing.py
 """
 
+import os
+
 from repro.compiler import mark_probabilistic_branches
 from repro.core import PBSConfig, PBSEngine
 from repro.functional import Executor
 from repro.isa import F, ProgramBuilder, R
 
+# CI's docs-smoke job shrinks every example via REPRO_EXAMPLE_SCALE.
+_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+STEPS = max(2, int(6000 * _SCALE))
+COOLING_EVERY = max(1, int(1000 * _SCALE))
 
-def build_annealing(steps=6000, cooling_every=1000, marked=True):
+
+def build_annealing(steps=STEPS, cooling_every=COOLING_EVERY, marked=True):
     """Accept/reject loop with a stepwise-cooled acceptance threshold.
 
     Every ``cooling_every`` steps the temperature (the comparison
@@ -75,7 +82,7 @@ def main():
     print("=== simulated annealing: the Const-Val safety net ===\n")
 
     baseline = Executor(build_annealing(), seed=17).run().output()[0]
-    print(f"baseline acceptances: {baseline} / 6000\n")
+    print(f"baseline acceptances: {baseline} / {STEPS}\n")
 
     for blacklist, label in ((True, "blacklist (default)"),
                              (False, "re-allocate")):

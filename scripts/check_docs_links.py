@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Check intra-repository links in the documentation suite.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and validates
+every **relative** target:
+
+* the linked file exists (relative to the linking file), and
+* a ``#fragment`` on a markdown target matches a heading in that file,
+  using GitHub's anchor slug rules (lowercase, spaces to dashes,
+  punctuation dropped).
+
+External links (``http(s)://``, ``mailto:``) are ignored — this checker
+must work offline and never flake on someone else's server. Exit status
+is the number of broken links, so CI can run it bare::
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for this suite; images share the form.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+#: Inline code spans and fenced blocks are stripped before link
+#: extraction so example snippets cannot produce false positives.
+FENCE_PATTERN = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE_PATTERN = re.compile(r"`[^`]*`")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor transformation (the useful subset)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    if path not in cache:
+        text = path.read_text(encoding="utf-8")
+        cache[path] = {
+            github_slug(match.group(1))
+            for match in HEADING_PATTERN.finditer(FENCE_PATTERN.sub("", text))
+        }
+    return cache[path]
+
+
+def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
+    text = path.read_text(encoding="utf-8")
+    text = INLINE_CODE_PATTERN.sub("", FENCE_PATTERN.sub("", text))
+    problems = []
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                                f"-> {target} (no such file)")
+                continue
+        else:
+            resolved = path  # pure in-page fragment
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved, cache):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken anchor -> "
+                    f"{target} (no heading slugs to '#{fragment}' in "
+                    f"{resolved.relative_to(REPO_ROOT)})"
+                )
+    return problems
+
+
+def main() -> int:
+    sources = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    cache: Dict[Path, Set[str]] = {}
+    problems: List[str] = []
+    checked = 0
+    for source in sources:
+        if not source.exists():
+            problems.append(f"missing documentation file: {source.name}")
+            continue
+        problems.extend(check_file(source, cache))
+        checked += 1
+    for problem in problems:
+        print(f"BROKEN  {problem}", file=sys.stderr)
+    print(f"[check_docs_links: {checked} files, {len(problems)} broken links]")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

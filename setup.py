@@ -17,9 +17,9 @@ DESCRIPTION = (
     "predictors and the paper's full evaluation"
 )
 
-_docs = os.path.join(HERE, "docs", "api.md")
+_readme = os.path.join(HERE, "README.md")
 LONG_DESCRIPTION = (
-    open(_docs).read() if os.path.exists(_docs) else DESCRIPTION
+    open(_readme).read() if os.path.exists(_readme) else DESCRIPTION
 )
 
 setup(

@@ -1,0 +1,59 @@
+"""repro.analysis — trace-native analysis passes.
+
+Post-hoc microarchitectural studies over stored committed-path traces:
+one :class:`~repro.trace.TraceReader` pass fans the event stream out to
+any number of registered consumers, with no :class:`~repro.sim.Session`
+and no re-interpretation.  See ``docs/analysis.md``::
+
+    from repro.analysis import analyze_store
+
+    for report in analyze_store(".pbs-traces", passes=["branch-entropy"]):
+        print(report["workload"], report["analyses"]["branch-entropy"]["overall"])
+
+Five passes ship in :mod:`repro.analysis.passes` (``instruction-mix``,
+``branch-entropy``, ``taken-rate``, ``mispredicts``, ``working-set``);
+new studies plug in with :func:`register_analysis`.  On the command
+line: ``pbs-experiments analyze``.
+"""
+
+from .base import (
+    ANALYSES,
+    AnalysisPass,
+    analysis_names,
+    create_analysis,
+    register_analysis,
+)
+from .passes import (
+    BranchEntropy,
+    InstructionMix,
+    MispredictBreakdown,
+    TakenRateHistogram,
+    WorkingSet,
+    direction_entropy,
+)
+from .run import (
+    analyze_store,
+    analyze_trace,
+    default_passes,
+    resolve_passes,
+    select_digests,
+)
+
+__all__ = [
+    "ANALYSES",
+    "AnalysisPass",
+    "analysis_names",
+    "create_analysis",
+    "register_analysis",
+    "BranchEntropy",
+    "InstructionMix",
+    "MispredictBreakdown",
+    "TakenRateHistogram",
+    "WorkingSet",
+    "direction_entropy",
+    "analyze_store",
+    "analyze_trace",
+    "default_passes",
+    "resolve_passes",
+    "select_digests",
+]

@@ -1,0 +1,81 @@
+"""The analysis-pass contract and registry.
+
+An :class:`AnalysisPass` is a plain trace sink — exactly the protocol
+predictors, timing cores and the PBS engine already speak: it is called
+once per committed-path :class:`~repro.functional.trace.TraceEvent` and,
+when the stream ends, :meth:`result` returns a JSON-serializable payload
+following the same structured-results conventions as
+:class:`~repro.sim.results.RunResult` (plain dicts of primitives, stable
+key order, derived quantities computed from the counters they summarize).
+
+Passes register under a kebab-case name with :func:`register_analysis`,
+mirroring ``@register_workload`` / ``@register_predictor``::
+
+    from repro.analysis import AnalysisPass, register_analysis
+
+    @register_analysis("my-study")
+    class MyStudy(AnalysisPass):
+        def __call__(self, event): ...
+        def result(self): return {...}
+
+``repro analyze`` (the ``pbs-experiments analyze`` subcommand) and
+:func:`~repro.analysis.run.analyze_trace` resolve names through this
+registry; one :class:`~repro.trace.TraceReader` pass fans the event
+stream out to every requested consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+
+class AnalysisPass:
+    """One streaming trace consumer: feed events, then read the result.
+
+    Subclasses implement ``__call__(event)`` (the hot path — one call per
+    retired instruction) and :meth:`result`.  A pass instance is single
+    use: it accumulates state across the whole stream and is rebuilt for
+    every analyzed trace.
+    """
+
+    #: Registry name (set by :func:`register_analysis`).
+    name: str = "?"
+
+    def __call__(self, event) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Dict:
+        """The pass's JSON-serializable findings for the consumed stream."""
+        raise NotImplementedError
+
+
+#: name -> AnalysisPass subclass (see :func:`register_analysis`).
+ANALYSES: Dict[str, Type[AnalysisPass]] = {}
+
+
+def register_analysis(name: str):
+    """Class decorator registering an :class:`AnalysisPass` under ``name``."""
+
+    def decorator(cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
+        cls.name = name
+        ANALYSES[name] = cls
+        return cls
+
+    return decorator
+
+
+def analysis_names() -> List[str]:
+    """Registered pass names, in registration order."""
+    return list(ANALYSES)
+
+
+def create_analysis(name: str, **options) -> AnalysisPass:
+    """Instantiate the registered pass ``name`` with ``options``."""
+    try:
+        cls = ANALYSES[name]
+    except KeyError:
+        known = ", ".join(sorted(ANALYSES))
+        raise KeyError(
+            f"unknown analysis {name!r}; registered passes: {known}"
+        ) from None
+    return cls(**options)

@@ -202,8 +202,57 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "what",
         nargs="?",
-        choices=["workloads", "predictors", "experiments", "all"],
+        choices=["workloads", "predictors", "experiments", "analyses", "all"],
         default="all",
+    )
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="run trace-native analysis passes over stored traces "
+             "(no Session, no re-interpretation)",
+    )
+    analyze_parser.add_argument(
+        "digests", nargs="*", default=[],
+        help="trace digests (or unique prefixes); default: every trace "
+             "matching the selector options",
+    )
+    analyze_parser.add_argument(
+        "--trace-store", type=str, default=".pbs-traces", metavar="DIR",
+        help="trace store directory (default: .pbs-traces)",
+    )
+    analyze_parser.add_argument(
+        "--passes", type=_csv, default=None,
+        help="comma-separated analysis passes (default: all registered; "
+             "see 'list analyses')",
+    )
+    analyze_parser.add_argument(
+        "--predictors", type=_csv, default=None,
+        help="predictor names for the mispredicts pass "
+             "(default: paper baselines)",
+    )
+    analyze_parser.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="rows per per-branch table (0 = unlimited; default 20)",
+    )
+    analyze_parser.add_argument(
+        "--workloads", type=_csv, default=None,
+        help="sweep selector: only traces of these workloads",
+    )
+    analyze_parser.add_argument(
+        "--scales", type=lambda s: [float(x) for x in _csv(s)], default=None,
+        help="sweep selector: only traces at these scales",
+    )
+    analyze_parser.add_argument(
+        "--seeds", type=lambda s: [int(x) for x in _csv(s)], default=None,
+        help="sweep selector: only traces with these seeds",
+    )
+    analyze_parser.add_argument(
+        "--modes", type=_csv, default=None,
+        help="sweep selector: only traces in these modes {base, pbs}",
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the structured reports as a JSON array",
     )
 
     trace_parser = subparsers.add_parser(
@@ -225,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--all", action="store_true",
         help="with gc: remove every trace, not just stale ones",
+    )
+    trace_parser.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="with gc: evict least-recently-used traces until the store "
+             "fits SIZE (e.g. 500000, 64M, 2G)",
     )
     trace_parser.add_argument(
         "--json", action="store_true",
@@ -372,6 +426,129 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _render_report(report) -> str:
+    """Human rendering of one analyze report (``--json`` skips this)."""
+    lines = [
+        f"trace {report['digest'][:12]}  {report['workload']} "
+        f"scale={report['scale']:g} seed={report['seed']} {report['mode']}  "
+        f"({report['events']} events)"
+    ]
+    analyses = report["analyses"]
+    mix = analyses.get("instruction-mix")
+    if mix:
+        top = sorted(
+            mix["by_class"].items(), key=lambda kv: -kv[1]["count"]
+        )[:4]
+        classes = "  ".join(
+            f"{name} {data['fraction'] * 100:.1f}%" for name, data in top
+        )
+        branches = mix["branches"]
+        lines.append(
+            f"  instruction-mix : {classes}"
+        )
+        lines.append(
+            f"                    {branches['conditional']} cond branches "
+            f"({branches['probabilistic']} probabilistic, "
+            f"taken rate {branches['taken_rate']:.3f}), "
+            f"{mix['memory']['loads']}+{mix['memory']['stores']} ld/st"
+        )
+    entropy = analyses.get("branch-entropy")
+    if entropy:
+        overall, prob = entropy["overall"], entropy["probabilistic"]
+        lines.append(
+            f"  branch-entropy  : {overall['sites']} sites, "
+            f"{overall['bits_per_execution']:.3f} bits/execution "
+            f"(probabilistic sites: {prob['bits_per_execution']:.3f})"
+        )
+        for row in entropy["per_branch"][:3]:
+            kind = "prob" if row["probabilistic"] else "reg"
+            lines.append(
+                f"      pc={row['pc']:<5d} {kind:4s} x{row['executions']:<8d} "
+                f"p(taken)={row['taken_rate']:.3f}  "
+                f"{row['entropy_bits']:.3f} bits"
+            )
+    rates = analyses.get("taken-rate")
+    if rates:
+        lines.append(
+            f"  taken-rate      : sites/bin {rates['by_site']}"
+        )
+    mispredicts = analyses.get("mispredicts")
+    if mispredicts:
+        for name, data in mispredicts.items():
+            lines.append(
+                f"  mispredicts     : {name}: mpki {data['mpki']:.3f} "
+                f"({data['regular_mispredicts']} regular + "
+                f"{data['prob_mispredicts']} probabilistic)"
+            )
+            for row in data["per_branch"][:3]:
+                lines.append(
+                    f"      pc={row['pc']:<5d} {row['mispredicts']}/"
+                    f"{row['executions']} "
+                    f"({row['mispredict_rate'] * 100:.1f}%)"
+                )
+    working_set = analyses.get("working-set")
+    if working_set and working_set["accesses"]:
+        lines.append(
+            f"  working-set     : {working_set['unique_addresses']} unique "
+            f"addresses ({working_set['unique_written']} written), "
+            f"{working_set['loads']} loads / {working_set['stores']} stores"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_analyze(args) -> int:
+    from pathlib import Path
+
+    from ..analysis import analysis_names, analyze_store
+
+    if not Path(args.trace_store).is_dir():
+        raise SystemExit(f"no trace store at {args.trace_store!r}")
+    passes = args.passes or analysis_names()
+    unknown = sorted(set(passes) - set(analysis_names()))
+    if unknown:
+        raise SystemExit(
+            f"unknown analysis passes {', '.join(unknown)}; "
+            f"registered: {', '.join(analysis_names())}"
+        )
+    top = None if args.top == 0 else args.top
+    options = {}
+    if "mispredicts" in passes:
+        options["mispredicts"] = {"predictors": args.predictors, "top": top}
+    if "branch-entropy" in passes:
+        options["branch-entropy"] = {"top": top}
+    selector = {}
+    if args.workloads:
+        selector["workload"] = args.workloads
+    if args.scales:
+        selector["scale"] = args.scales
+    if args.seeds:
+        selector["seed"] = args.seeds
+    if args.modes:
+        selector["mode"] = args.modes
+    try:
+        reports = analyze_store(
+            args.trace_store,
+            digests=args.digests or None,
+            passes=passes,
+            selector=selector or None,
+            **options,
+        )
+    except LookupError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+        return 0
+    if not reports:
+        print(f"(no traces match in {args.trace_store})")
+        return 0
+    for report in reports:
+        print(_render_report(report))
+        print()
+    print(f"[{len(reports)} traces analyzed from {args.trace_store}]",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from pathlib import Path
 
@@ -433,9 +610,18 @@ def _cmd_trace(args) -> int:
         print(json.dumps(info, indent=2, sort_keys=True))
         return 0
     # gc
-    summary = store.gc(clear=args.all)
+    max_bytes = None
+    if args.max_bytes is not None:
+        from ..storage import parse_size
+
+        try:
+            max_bytes = parse_size(args.max_bytes)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    summary = store.gc(clear=args.all, max_bytes=max_bytes)
     print(json.dumps(summary, indent=2, sort_keys=True) if args.json else
-          f"[gc: removed {summary['removed']}, kept {summary['kept']}, "
+          f"[gc: removed {summary['removed']}, evicted {summary['evicted']}, "
+          f"kept {summary['kept']}, "
           f"reclaimed {summary['reclaimed_bytes']} bytes]")
     return 0
 
@@ -448,6 +634,10 @@ def _cmd_list(args) -> int:
         sections.append(("predictors", predictor_names()))
     if args.what in ("experiments", "all"):
         sections.append(("experiments", sorted(EXPERIMENTS)))
+    if args.what in ("analyses", "all"):
+        from ..analysis import analysis_names
+
+        sections.append(("analyses", analysis_names()))
     for title, names in sections:
         print(f"{title}:")
         for name in names:
@@ -463,7 +653,7 @@ def main(argv=None) -> int:
     artefacts = set(EXPERIMENTS) | {"all"}
     if (
         argv
-        and argv[0] not in {"run", "sweep", "list", "trace"}
+        and argv[0] not in {"run", "sweep", "list", "trace", "analyze"}
         and any(token in artefacts for token in argv)
     ):
         argv.insert(0, "run")
@@ -479,6 +669,8 @@ def main(argv=None) -> int:
         return _cmd_sweep(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     return _cmd_list(args)
 
 

@@ -31,24 +31,51 @@ grids.  Three pieces ship together:
 Message frames
 --------------
 
-===========  ==============================================================
-``hello``    handshake; carries ``protocol``, ``cache_version`` and (from
-             the worker) ``processes`` plus ``trace_store`` (whether the
-             worker holds a local trace store clients may ask it to use)
-``run``      ``{"id": n, "spec": RunSpec.to_dict(), "digest": sha256}``;
-             an optional ``"trace": {"mode": ...}`` asks the worker to
-             serve the spec through its **own** trace store (replay the
-             committed path if captured, interpret + capture otherwise)
-``result``   ``{"id": n, "result": RunResult.to_dict(), "cached": bool}``
-             plus ``"trace"``: ``"capture"``/``"replay"``/absent
-``error``    ``{"message": str}`` plus ``"id"`` when tied to one spec
-``ping``     liveness probe; answered with ``pong``
-``bye``      clean client shutdown
-===========  ==============================================================
+====================  =====================================================
+``hello``             handshake; carries ``protocol``, ``cache_version``
+                      and (from the worker) ``processes`` plus
+                      ``trace_store`` (whether the worker holds a local
+                      trace store clients may ask it to use)
+``run``               ``{"id": n, "spec": RunSpec.to_dict(), "digest":
+                      sha256}``; an optional ``"trace": {"mode": ...}``
+                      asks the worker to serve the spec through its
+                      **own** trace store (replay the committed path if
+                      captured, interpret + capture otherwise);
+                      ``"stream": true`` in the directive additionally
+                      offers to wire-stream the trace should the worker
+                      lack it
+``result``            ``{"id": n, "result": RunResult.to_dict(),
+                      "cached": bool}`` plus ``"trace"``:
+                      ``"capture"``/``"replay"``/absent
+``trace_want``        worker -> client: ``{"id": n, "digest": d}`` — the
+                      worker parks the spec and asks for the offered
+                      trace before running it
+``trace_data``        client -> worker: ``{"digest": d, "data": base64}``
+                      — one chunk of the trace file's raw bytes (the
+                      already-compressed frames ship verbatim), each
+                      frame under the 64 MiB cap
+``trace_end``         client -> worker: ``{"digest": d, "sha256": hex,
+                      "bytes": n}`` — closes the stream; the worker
+                      verifies the checksum *and* that the received
+                      file's metadata re-derives the claimed store
+                      digest before committing it to its store
+``trace_unavailable`` client -> worker: ``{"digest": d}`` — the offer
+                      could not be honoured (file evicted since);
+                      parked specs run without the trace
+``error``             ``{"message": str}`` plus ``"id"`` when tied to
+                      one spec
+``ping``              liveness probe; answered with ``pong``
+``bye``               clean client shutdown
+====================  =====================================================
 
-Trace reuse never ships trace files over the wire: the client strips its
-local ``trace_store`` path from the spec and sends only the directive;
-each worker reads and writes its own store next to its own cache.
+Trace reuse never ships the client's store *path* over the wire: the
+client strips its local ``trace_store`` from the spec and sends only the
+directive; each worker reads and writes its own store next to its own
+cache.  What **can** cross the wire — when the client holds the trace
+and the worker does not — is the trace file itself, streamed once in
+``trace_data`` chunks and digest-verified on receipt, after which every
+later spec of the same committed path replays from the worker's local
+disk.
 """
 
 from __future__ import annotations
@@ -71,10 +98,16 @@ from .results import RunResult
 from .sweep import RunSpec
 
 #: Bump on incompatible frame/handshake changes.
-PROTOCOL_VERSION = 1
+#: v2: trace streaming (``trace_want``/``trace_data``/``trace_end``/
+#: ``trace_unavailable``) for cold workers.
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame; anything larger is treated as corrupt.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Raw bytes per ``trace_data`` chunk; base64 expansion (4/3) keeps the
+#: resulting frame far under :data:`MAX_FRAME_BYTES`.
+TRACE_CHUNK_BYTES = 4 * 1024 * 1024
 
 DEFAULT_PORT = 7340
 
@@ -164,6 +197,10 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         worker: WorkerServer = self.server.owner
         write_lock = threading.Lock()
         worker._track(self.connection, add=True)
+        #: trace digest -> [(run_id, spec, digest), ...] awaiting a stream.
+        self._parked: Dict[str, list] = {}
+        #: trace digest -> in-flight stream receive state.
+        self._incoming: Dict[str, Dict] = {}
         try:
             self._send(write_lock, {
                 "type": "hello",
@@ -203,6 +240,19 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 if message["type"] == "ping":
                     self._send(write_lock, {"type": "pong"})
                     continue
+                if message["type"] in (
+                    "trace_data", "trace_end", "trace_unavailable"
+                ):
+                    try:
+                        self._handle_trace_frame(write_lock, message)
+                    except ProtocolError as exc:
+                        # Same contract as a corrupt read: say why,
+                        # then drop the connection.
+                        self._send(write_lock, {
+                            "type": "error", "message": str(exc),
+                        })
+                        return
+                    continue
                 if message["type"] != "run":
                     self._send(write_lock, {
                         "type": "error",
@@ -215,6 +265,7 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         except (OSError, ValueError):
             pass  # connection torn down under us; nothing to salvage
         finally:
+            self._discard_incoming()
             worker._track(self.connection, add=False)
 
     # -- pieces ---------------------------------------------------------
@@ -274,10 +325,38 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                     "result": hit.to_dict(), "cached": True,
                 })
                 return
+        if (
+            directive
+            and directive.get("stream")
+            and spec.trace_store is not None
+            and spec.trace_mode in ("auto", "replay")
+        ):
+            # The client holds this spec's trace; if our store does not,
+            # park the spec and pull the trace over the wire once —
+            # every later spec of the same committed path replays from
+            # local disk.
+            trace_digest = spec.trace_digest()
+            parked = self._parked.get(trace_digest)
+            if parked is not None:
+                parked.append((run_id, spec, digest))
+                return
+            if not worker.trace_store.path(trace_digest).exists():
+                self._parked[trace_digest] = [(run_id, spec, digest)]
+                self._send(write_lock, {
+                    "type": "trace_want", "id": run_id,
+                    "digest": trace_digest,
+                })
+                return
+        self._execute_run(write_lock, run_id, spec, digest)
+
+    def _execute_run(self, write_lock, run_id, spec, digest: str) -> None:
+        worker: WorkerServer = self.server.owner
 
         def deliver(result: RunResult) -> None:
             if worker.cache is not None:
                 worker.cache.put(digest, result)
+            if result.trace_origin == "capture":
+                worker._note_trace_write()
             worker._log(
                 f"ran {spec.workload} scale={spec.scale:g} seed={spec.seed} "
                 f"{spec.mode} in {result.wall_time:.2f}s"
@@ -308,6 +387,87 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 callback=deliver, error_callback=failed,
             )
 
+    # -- trace streaming ------------------------------------------------
+
+    def _handle_trace_frame(self, write_lock, message: Dict) -> None:
+        worker: WorkerServer = self.server.owner
+        kind = message["type"]
+        digest = message.get("digest")
+        if not isinstance(digest, str) or digest not in self._parked:
+            raise ProtocolError(f"{kind} for unrequested trace {digest!r}")
+        if kind == "trace_unavailable":
+            # The client's offer went stale (e.g. its store was gc'd
+            # between offer and request): run the parked specs without
+            # the trace — they interpret + capture locally instead.
+            self._release_parked(write_lock, digest)
+            return
+        state = self._incoming.get(digest)
+        if state is None:
+            import hashlib
+
+            path = worker.trace_store.path(digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(
+                f".{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            state = self._incoming[digest] = {
+                "tmp": tmp,
+                "handle": open(tmp, "wb"),
+                "hasher": hashlib.sha256(),
+                "bytes": 0,
+            }
+        if kind == "trace_data":
+            import base64
+
+            try:
+                chunk = base64.b64decode(message.get("data") or "", validate=True)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"undecodable trace chunk: {exc}") from None
+            state["handle"].write(chunk)
+            state["hasher"].update(chunk)
+            state["bytes"] += len(chunk)
+            return
+        # trace_end: verify and commit (or fall back to interpreting).
+        state = self._incoming.pop(digest)
+        state["handle"].close()
+        failure = None
+        if state["hasher"].hexdigest() != message.get("sha256"):
+            failure = "checksum mismatch"
+        elif state["bytes"] != message.get("bytes"):
+            failure = (
+                f"length mismatch ({state['bytes']} received, "
+                f"{message.get('bytes')} announced)"
+            )
+        else:
+            failure = worker.trace_store.adopt(state["tmp"], digest)
+        if failure is not None:
+            state["tmp"].unlink(missing_ok=True)
+            worker._log(
+                f"rejected streamed trace {digest[:12]}: {failure}; "
+                "parked specs will interpret locally"
+            )
+        else:
+            worker._log(
+                f"received trace {digest[:12]} "
+                f"({state['bytes']} bytes) into {worker.trace_store.root}"
+            )
+            worker._note_trace_write()
+        self._release_parked(write_lock, digest)
+
+    def _release_parked(self, write_lock, digest: str) -> None:
+        for run_id, spec, spec_digest in self._parked.pop(digest, []):
+            self._execute_run(write_lock, run_id, spec, spec_digest)
+
+    def _discard_incoming(self) -> None:
+        """Connection teardown: drop half-received stream temp files."""
+        for state in self._incoming.values():
+            try:
+                state["handle"].close()
+            except OSError:
+                pass
+            state["tmp"].unlink(missing_ok=True)
+        self._incoming.clear()
+
 
 class WorkerServer:
     """A ``repro-worker`` daemon, embeddable in-process for tests.
@@ -320,7 +480,11 @@ class WorkerServer:
     re-simulating; with ``trace_dir`` set, it advertises a local
     :class:`~repro.trace.TraceStore` and serves trace-directive specs
     through it (interpret once, replay for every later request of the
-    same committed path).  ``fail_after=N`` is a **test hook**: the
+    same committed path).  ``trace_max_bytes`` bounds that store: when a
+    capture or a received wire stream pushes it past the budget, the
+    least-recently-used traces are evicted (the daemon equivalent of
+    ``repro trace gc --max-bytes``), so long-running workers stay
+    bounded.  ``fail_after=N`` is a **test hook**: the
     worker drops every connection and stops accepting after its N-th
     ``run`` request, simulating a worker killed mid-grid.
     """
@@ -332,6 +496,7 @@ class WorkerServer:
         processes: int = 1,
         cache_dir: Optional[str] = None,
         trace_dir: Optional[str] = None,
+        trace_max_bytes: Optional[int] = None,
         fail_after: Optional[int] = None,
         verbose: bool = False,
         protocol_version: int = PROTOCOL_VERSION,
@@ -340,6 +505,8 @@ class WorkerServer:
         self.processes = processes
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.trace_dir = str(trace_dir) if trace_dir else None
+        self.trace_max_bytes = trace_max_bytes
+        self._trace_store = None
         self.fail_after = fail_after
         self.verbose = verbose
         self.protocol_version = protocol_version
@@ -369,6 +536,34 @@ class WorkerServer:
             if self._pool is None:
                 self._pool = _pool_context().Pool(self.processes)
             return self._pool
+
+    @property
+    def trace_store(self):
+        """The worker's local :class:`~repro.trace.TraceStore` (lazy)."""
+        with self._lock:
+            if self._trace_store is None:
+                from ..trace import TraceStore
+
+                self._trace_store = TraceStore(self.trace_dir)
+            return self._trace_store
+
+    def _note_trace_write(self) -> None:
+        """A trace landed in the store; enforce the byte budget if set."""
+        if self.trace_max_bytes is None or self.trace_dir is None:
+            return
+        store = self.trace_store
+        # Cheap size probe first: the full gc (metadata decode of every
+        # trace + manifest compaction) only runs when over budget.
+        if store.total_bytes() <= self.trace_max_bytes:
+            return
+        with self._lock:
+            summary = store.gc(max_bytes=self.trace_max_bytes)
+        if summary["evicted"]:
+            self._log(
+                f"trace store over {self.trace_max_bytes} bytes: evicted "
+                f"{summary['evicted']} traces "
+                f"({summary['reclaimed_bytes']} bytes reclaimed)"
+            )
 
     def start(self) -> "WorkerServer":
         """Serve in a daemon thread; returns self for chaining."""
@@ -474,14 +669,33 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace-max-bytes", default=None, metavar="SIZE",
+        help=(
+            "byte budget for --trace-dir (e.g. 512M, 2G): least-recently-"
+            "used traces are evicted whenever a capture or a received "
+            "wire stream pushes the store past it"
+        ),
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="log one line per served request to stderr",
     )
     args = parser.parse_args(argv)
     host, port = parse_address(args.listen)
+    trace_max_bytes = None
+    if args.trace_max_bytes is not None:
+        from ..storage import parse_size
+
+        if args.trace_dir is None:
+            parser.error("--trace-max-bytes requires --trace-dir")
+        try:
+            trace_max_bytes = parse_size(args.trace_max_bytes)
+        except ValueError as exc:
+            parser.error(str(exc))
     server = WorkerServer(
         host=host, port=port, processes=args.processes,
         cache_dir=args.cache_dir, trace_dir=args.trace_dir,
+        trace_max_bytes=trace_max_bytes,
         verbose=args.verbose,
     )
     print(
@@ -597,10 +811,12 @@ class _WorkerClient(threading.Thread):
         self.label = f"{address[0]}:{address[1]}"
         self.inflight: Dict[int, Tuple[int, RunSpec, int]] = {}
         self.trace_capable = False
+        self._trace_stores: Dict[str, object] = {}
         self.stats = {
             "dispatched": 0, "completed": 0, "cache_hits": 0,
             "requeued": 0, "reconnects": 0,
             "trace_captures": 0, "trace_hits": 0,
+            "trace_streams": 0, "trace_stream_bytes": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
@@ -682,7 +898,7 @@ class _WorkerClient(threading.Thread):
                     return
                 next_id += 1
                 self._send_run(wfile, next_id, item)
-            self._receive_one(rfile)
+            self._receive_one(rfile, wfile)
 
     def _handshake(self, rfile, wfile) -> int:
         hello = _read_frame(rfile)
@@ -716,6 +932,24 @@ class _WorkerClient(threading.Thread):
             raise ProtocolError(f"malformed hello frame: {exc!r}") from None
         return max(1, min(advertised * 2, 32))
 
+    def _local_trace_path(self, spec: RunSpec):
+        """Path of this spec's trace in the *client's* store, or ``None``.
+
+        Never creates the store directory: a client that has not
+        captured anything locally (the common remote case) should not
+        grow an empty store as a side effect of offering streams.
+        """
+        if spec.trace_store is None or not os.path.isdir(spec.trace_store):
+            return None
+        store = self._trace_stores.get(spec.trace_store)
+        if store is None:
+            from ..trace import TraceStore
+
+            store = TraceStore(spec.trace_store)
+            self._trace_stores[spec.trace_store] = store
+        path = store.path(spec.trace_digest())
+        return path if path.exists() else None
+
     def _send_run(self, wfile, run_id: int, item) -> None:
         index, spec, attempts = item
         self.inflight[run_id] = item
@@ -732,7 +966,12 @@ class _WorkerClient(threading.Thread):
             "digest": spec.digest(),
         }
         if spec.trace_store is not None and self.trace_capable:
-            frame["trace"] = {"mode": trace_mode}
+            directive = {"mode": trace_mode}
+            if self._local_trace_path(spec) is not None:
+                # We hold the committed path on local disk; offer to
+                # stream it should the worker's store turn out cold.
+                directive["stream"] = True
+            frame["trace"] = directive
         wfile.write(encode_frame(frame))
         wfile.flush()
 
@@ -743,11 +982,65 @@ class _WorkerClient(threading.Thread):
         except (OSError, ValueError):
             pass  # the work is done; a lost goodbye costs nothing
 
-    def _receive_one(self, rfile) -> None:
+    def _stream_trace(self, wfile, digest: str, path) -> None:
+        """Ship one trace file's bytes to the worker, chunked + checksummed."""
+        import base64
+        import hashlib
+
+        hasher = hashlib.sha256()
+        sent = 0
+        try:
+            handle = open(path, "rb")
+        except OSError:
+            # Evicted between the exists() probe and the open (a local
+            # gc race, not a connection problem): same graceful path as
+            # a stale offer.
+            wfile.write(encode_frame({
+                "type": "trace_unavailable", "digest": digest,
+            }))
+            wfile.flush()
+            return
+        with handle:
+            while True:
+                chunk = handle.read(TRACE_CHUNK_BYTES)
+                if not chunk:
+                    break
+                hasher.update(chunk)
+                sent += len(chunk)
+                wfile.write(encode_frame({
+                    "type": "trace_data", "digest": digest,
+                    "data": base64.b64encode(chunk).decode("ascii"),
+                }))
+        wfile.write(encode_frame({
+            "type": "trace_end", "digest": digest,
+            "sha256": hasher.hexdigest(), "bytes": sent,
+        }))
+        wfile.flush()
+        self.stats["trace_streams"] += 1
+        self.stats["trace_stream_bytes"] += sent
+
+    def _receive_one(self, rfile, wfile) -> None:
         message = _read_frame(rfile)
         if message is None:
             raise ProtocolError("worker closed the connection mid-batch")
         kind = message["type"]
+        if kind == "trace_want":
+            run_id = message.get("id")
+            item = self.inflight.get(run_id)
+            if item is None:
+                raise ProtocolError(f"trace_want for unknown run id {run_id!r}")
+            digest = message.get("digest")
+            path = self._local_trace_path(item[1])
+            if path is None:
+                # Evicted between offer and request (a gc race): the
+                # worker runs the spec without the trace instead.
+                wfile.write(encode_frame({
+                    "type": "trace_unavailable", "digest": digest,
+                }))
+                wfile.flush()
+            else:
+                self._stream_trace(wfile, digest, path)
+            return
         if kind == "result":
             run_id = message.get("id")
             item = self.inflight.get(run_id)

@@ -237,8 +237,20 @@ class Session:
             if self._trace_mode in ("auto", "replay"):
                 reader = store.open(digest)
                 if reader is not None:
-                    return self._replay(reader)
-                if self._trace_mode == "replay":
+                    if self._trace_mode == "replay":
+                        return self._replay(reader)
+                    from ..trace import TraceFormatError
+
+                    try:
+                        return self._replay(reader)
+                    except (OSError, TraceFormatError):
+                        # The trace vanished or broke between open() and
+                        # the event stream — e.g. a concurrent
+                        # `trace gc --max-bytes` evicted it.  auto mode
+                        # falls back to a fresh interpretation (and
+                        # recapture) instead of failing the run.
+                        pass
+                elif self._trace_mode == "replay":
                     raise LookupError(
                         f"no trace for {self._workload} scale={self._scale} "
                         f"seed={self._seed} in {store.root}"

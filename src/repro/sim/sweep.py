@@ -149,7 +149,8 @@ class SweepResult:
     def __init__(self, results: List[RunResult], cache_hits: int = 0,
                  simulated: int = 0, wall_time: float = 0.0,
                  executor: Optional[str] = None,
-                 trace_captures: int = 0, trace_hits: int = 0):
+                 trace_captures: int = 0, trace_hits: int = 0,
+                 workers: Optional[Dict] = None):
         self.results = results
         self.cache_hits = cache_hits
         self.simulated = simulated
@@ -157,15 +158,19 @@ class SweepResult:
         self.executor = executor
         self.trace_captures = trace_captures
         self.trace_hits = trace_hits
+        self.workers = workers
 
     def to_stats(self) -> Dict:
-        """Machine-readable run summary (the ``--stats-json`` contract).
+        """Machine-readable run summary (the ``--stats-json`` contract —
+        every key is documented in ``docs/api.md``).
 
         ``executor`` names the backend that ran the pending specs, or
         is ``None`` when everything came from the cache.
         ``trace_captures``/``trace_hits`` count, among the simulated
         specs, full interpretations recorded into a trace store versus
         replays of a stored committed path (both zero without one).
+        ``workers`` carries per-worker telemetry summed across the
+        sweep's executor batches (``None`` for local backends).
         """
         return {
             "specs": len(self.results),
@@ -175,6 +180,7 @@ class SweepResult:
             "executor": self.executor,
             "trace_captures": self.trace_captures,
             "trace_hits": self.trace_hits,
+            "workers": self.workers,
         }
 
     def __iter__(self):
@@ -320,6 +326,7 @@ class Sweep:
 
         executor_name = None
         trace_captures = trace_hits = 0
+        workers: Optional[Dict] = None
         if pending:
             if self.trace_dir is not None:
                 for index in pending:
@@ -367,6 +374,16 @@ class Sweep:
                         )
                     for index, result in zip(batch, fresh):
                         results[index] = result
+                    # Per-worker counters reset every map() call; sum
+                    # them across the leader/follower batches so the
+                    # stats reflect the whole sweep.
+                    telemetry = getattr(backend, "telemetry", None)
+                    if telemetry:
+                        workers = workers or {}
+                        for address, counters in telemetry.items():
+                            slot = workers.setdefault(address, {})
+                            for key, value in counters.items():
+                                slot[key] = slot.get(key, 0) + value
             finally:
                 if not isinstance(executor, Executor):
                     backend.close()  # throwaway backend owned by this call
@@ -383,4 +400,5 @@ class Sweep:
             wall_time=time.perf_counter() - started,
             executor=executor_name,
             trace_captures=trace_captures, trace_hits=trace_hits,
+            workers=workers,
         )

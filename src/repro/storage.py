@@ -44,6 +44,48 @@ def canonical_digest(payload: Dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+#: Suffix multipliers for :func:`parse_size` (binary, like ``ls -h``).
+_SIZE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": 1024,
+    "kb": 1024,
+    "kib": 1024,
+    "m": 1024 ** 2,
+    "mb": 1024 ** 2,
+    "mib": 1024 ** 2,
+    "g": 1024 ** 3,
+    "gb": 1024 ** 3,
+    "gib": 1024 ** 3,
+    "t": 1024 ** 4,
+    "tb": 1024 ** 4,
+    "tib": 1024 ** 4,
+}
+
+
+def parse_size(text: Union[str, int]) -> int:
+    """A human byte count — ``"500000"``, ``"64M"``, ``"1.5GiB"`` — in bytes.
+
+    Suffixes are binary (``k`` = 1024) and case-insensitive; a bare int
+    passes through.  Raises ``ValueError`` on anything else.
+    """
+    if isinstance(text, int):
+        return text
+    raw = text.strip().lower()
+    number = raw.rstrip("kmgtib")
+    suffix = raw[len(number):]
+    try:
+        multiplier = _SIZE_SUFFIXES[suffix]
+        size = int(float(number) * multiplier)
+        if size < 0:
+            raise ValueError
+        return size
+    except (KeyError, ValueError, OverflowError):  # OverflowError: "inf"
+        raise ValueError(
+            f"unparsable size {text!r}; want e.g. 500000, 64M or 1.5GiB"
+        ) from None
+
+
 def looks_like_digest(stem: str) -> bool:
     if len(stem) != _DIGEST_LEN:
         return False
@@ -99,7 +141,9 @@ class ShardedStore:
     def _load_index(self) -> Dict[str, Dict]:
         """digest -> manifest entry, loaded lazily from ``manifest.jsonl``.
 
-        Later lines win (concurrent writers may append duplicates); a
+        Lines for one digest are **merged**, later keys winning — so a
+        minimal later line (e.g. a last-used stamp) updates its fields
+        without erasing the richer metadata of the original entry.  A
         truncated trailing line from a crashed writer is skipped.  When
         the manifest is missing but shards exist — deleted by hand, or
         an older store — it is rebuilt from the shard listing.
@@ -118,7 +162,10 @@ class ShardedStore:
                     continue
                 digest = entry.get("digest")
                 if digest:
-                    index[digest] = entry
+                    merged = index.get(digest)
+                    index[digest] = (
+                        {**merged, **entry} if merged is not None else entry
+                    )
         else:
             for path in sorted(self.root.glob(f"??/*{self.suffix}")):
                 if looks_like_digest(path.stem):
@@ -143,6 +190,14 @@ class ShardedStore:
         if existing is not None and len(existing) >= len(entry):
             return  # already indexed with at least as much metadata
         self._index[digest] = entry
+        self._append(entry)
+
+    def _record_unconditionally(self, digest: str, entry: Dict) -> None:
+        """Index + append ``entry`` even when a richer one exists — for
+        metadata that moves backwards in size but forwards in time
+        (e.g. last-used stamps)."""
+        if self._index is not None:
+            self._index[digest] = entry
         self._append(entry)
 
     def _append(self, entry: Dict) -> None:
@@ -179,7 +234,11 @@ class ShardedStore:
 
     def digests(self, prefix: str = "") -> List[str]:
         """All indexed digests starting with ``prefix``, sorted."""
-        return sorted(d for d in self._load_index() if d.startswith(prefix))
+        # Snapshot before filtering: another thread recording an entry
+        # mid-iteration must not raise "dict changed size".
+        return sorted(
+            d for d in list(self._load_index()) if d.startswith(prefix)
+        )
 
     def entry(self, digest: str) -> Optional[Dict]:
         """The manifest entry for ``digest``, or ``None``."""
@@ -188,7 +247,7 @@ class ShardedStore:
     def stats(self) -> Dict:
         """Index-backed summary: entry/shard counts, session hit rates."""
         index = self._load_index()
-        shards = {digest[:SHARD_CHARS] for digest in index}
+        shards = {digest[:SHARD_CHARS] for digest in list(index)}
         return {
             "entries": len(index),
             "shards": len(shards),
@@ -221,7 +280,10 @@ class ShardedStore:
         )
         try:
             with open(tmp, "w") as handle:
-                for entry in index.values():
+                # Snapshot: a concurrent writer appending to the index
+                # mid-compaction must not crash the iteration (its entry
+                # either makes this compaction or the next gc's).
+                for entry in list(index.values()):
                     handle.write(json.dumps(entry, sort_keys=True) + "\n")
             os.replace(tmp, self.manifest_path)
         finally:

@@ -1,0 +1,365 @@
+"""Tests for repro.analysis: the pass registry, the built-in passes over
+synthetic and real streams, store selection, and the `analyze` CLI —
+including the golden-locked guarantee that the mispredicts pass
+reproduces a live Session's counters bit-identically."""
+
+import contextlib
+import io
+import json
+import math
+
+import pytest
+
+from repro.analysis import (
+    AnalysisPass,
+    analysis_names,
+    analyze_store,
+    analyze_trace,
+    create_analysis,
+    direction_entropy,
+    register_analysis,
+    select_digests,
+)
+from repro.analysis.base import ANALYSES
+from repro.functional.trace import ProbMode, TraceEvent
+from repro.isa.opcodes import OP_CLASS, Op
+from repro.sim import RunResult, Session
+from repro.trace import TraceStore
+
+from .golden import GOLDEN_DIR, GOLDEN_PREDICTORS, GOLDEN_SCALE
+
+SCALE = 0.02
+
+
+def _event(**overrides) -> TraceEvent:
+    base = dict(
+        pc=7, op=Op.ADD, op_class=OP_CLASS[Op.ADD], dest=3, srcs=(1, 2),
+        is_cond_branch=False, taken=False, target=None, next_pc=8,
+        addr=None, is_store=False, prob_mode=ProbMode.NOT_PROB,
+    )
+    base.update(overrides)
+    return TraceEvent(**base)
+
+
+def _branch(pc, taken, prob=False):
+    return _event(
+        pc=pc, op=Op.BLT, op_class=OP_CLASS[Op.BLT], dest=-1,
+        is_cond_branch=True, taken=taken, target=2,
+        next_pc=2 if taken else pc + 1,
+        prob_mode=ProbMode.PREDICTED if prob else ProbMode.NOT_PROB,
+    )
+
+
+class TestRegistry:
+    def test_builtin_passes_registered(self):
+        names = analysis_names()
+        for expected in ("instruction-mix", "branch-entropy", "taken-rate",
+                         "mispredicts", "working-set"):
+            assert expected in names
+
+    def test_unknown_pass_is_a_clean_error(self):
+        with pytest.raises(KeyError, match="registered passes"):
+            create_analysis("no-such-study")
+
+    def test_custom_pass_plugs_in_everywhere(self, tmp_path):
+        @register_analysis("event-count")
+        class EventCount(AnalysisPass):
+            def __init__(self):
+                self.events = 0
+
+            def __call__(self, event):
+                self.events += 1
+
+            def result(self):
+                return {"events": self.events}
+
+        try:
+            store = TraceStore(tmp_path)
+            session = Session("pi", scale=SCALE, seed=1).trace(store)
+            session.run()
+            report = analyze_store(store, passes=["event-count"])[0]
+            assert report["analyses"]["event-count"]["events"] == report["events"]
+        finally:
+            del ANALYSES["event-count"]
+
+
+class TestDirectionEntropy:
+    def test_degenerate_rates_carry_no_information(self):
+        assert direction_entropy(0, 100) == 0.0
+        assert direction_entropy(100, 100) == 0.0
+        assert direction_entropy(0, 0) == 0.0
+
+    def test_even_split_is_one_bit(self):
+        assert direction_entropy(50, 100) == pytest.approx(1.0)
+
+    def test_symmetric_and_bounded(self):
+        for taken in range(1, 100):
+            bits = direction_entropy(taken, 100)
+            assert 0.0 < bits <= 1.0
+            assert bits == pytest.approx(direction_entropy(100 - taken, 100))
+
+
+class TestPassesOnSyntheticStreams:
+    def _run(self, name, events, **options):
+        sink = create_analysis(name, **options)
+        for event in events:
+            sink(event)
+        return sink.result()
+
+    def test_instruction_mix(self):
+        events = [
+            _event(),
+            _event(op=Op.LOAD, op_class=OP_CLASS[Op.LOAD], srcs=(4,), addr=10),
+            _event(op=Op.STORE, op_class=OP_CLASS[Op.STORE], dest=-1,
+                   srcs=(5, 6), addr=11, is_store=True),
+            _branch(3, True),
+            _branch(3, False),
+        ]
+        result = self._run("instruction-mix", events)
+        assert result["instructions"] == 5
+        assert result["by_class"]["IALU"]["count"] == 1
+        assert result["by_class"]["BRANCH"]["count"] == 2
+        assert result["branches"] == {
+            "conditional": 2, "taken": 1, "taken_rate": 0.5,
+            "probabilistic": 0, "pbs_hits": 0,
+            "per_kilo_instruction": 400.0,
+        }
+        assert result["memory"]["loads"] == 1
+        assert result["memory"]["stores"] == 1
+
+    def test_branch_entropy_separates_prob_sites(self):
+        events = (
+            [_branch(1, taken % 2 == 0, prob=True) for taken in range(100)]
+            + [_branch(2, True) for _ in range(100)]
+        )
+        result = self._run("branch-entropy", events)
+        assert result["overall"]["sites"] == 2
+        assert result["probabilistic"]["bits_per_execution"] == pytest.approx(1.0)
+        assert result["regular"]["bits_per_execution"] == 0.0
+        top = result["per_branch"][0]
+        assert top["pc"] == 1 and top["probabilistic"]
+        assert top["entropy_bits"] == pytest.approx(1.0)
+
+    def test_branch_entropy_top_bounds_table(self):
+        events = [_branch(pc, pc % 2 == 0) for pc in range(30) for _ in (0, 1)]
+        result = self._run("branch-entropy", events, top=5)
+        assert len(result["per_branch"]) == 5
+
+    def test_taken_rate_histogram(self):
+        events = (
+            [_branch(1, True)] * 9 + [_branch(1, False)]      # 0.9 -> last bin
+            + [_branch(2, False)] * 10                        # 0.0 -> first bin
+        )
+        result = self._run("taken-rate", events, bins=10)
+        assert result["sites"] == 2 and result["executions"] == 20
+        assert result["by_site"][0] == 1 and result["by_site"][9] == 1
+        assert result["by_execution"][0] == 10 and result["by_execution"][9] == 10
+        assert result["edges"][0] == 0.0 and result["edges"][-1] == 1.0
+
+    def test_taken_rate_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            create_analysis("taken-rate", bins=0)
+
+    def test_working_set(self):
+        events = [
+            _event(op=Op.LOAD, op_class=OP_CLASS[Op.LOAD], srcs=(4,), addr=10),
+            _event(op=Op.LOAD, op_class=OP_CLASS[Op.LOAD], srcs=(4,), addr=12),
+            _event(op=Op.STORE, op_class=OP_CLASS[Op.STORE], dest=-1,
+                   srcs=(5, 6), addr=12, is_store=True),
+            _event(),   # no addr: ignored
+        ]
+        result = self._run("working-set", events)
+        assert result == {
+            "accesses": 3, "loads": 2, "stores": 1,
+            "unique_addresses": 2, "unique_read": 2, "unique_written": 1,
+            "read_only": 1, "address_range": [10, 12],
+        }
+
+
+class TestMispredictsGoldenLock:
+    """`repro analyze` over a stored trace must reproduce the
+    branch-mispredict counts of the equivalent Session run
+    bit-identically — locked against the golden corpus fixtures."""
+
+    AGGREGATE_FIELDS = (
+        "instructions", "regular_branches", "regular_mispredicts",
+        "prob_branches", "prob_mispredicts", "pbs_hits",
+    )
+
+    @pytest.mark.parametrize("fixture", [
+        "pi-base-seed1.json", "pi-pbs-seed1.json", "dop-base-seed1.json",
+    ])
+    def test_counts_match_golden_fixture(self, tmp_path, fixture):
+        golden = RunResult.from_dict(
+            json.loads((GOLDEN_DIR / fixture).read_text())
+        )
+        store = TraceStore(tmp_path)
+        session = Session(golden.workload, scale=GOLDEN_SCALE, seed=golden.seed)
+        if golden.pbs:
+            session.pbs()
+        session.trace(store).run()
+
+        report = analyze_store(
+            store, passes=["mispredicts"],
+            **{"mispredicts": {"predictors": GOLDEN_PREDICTORS}},
+        )[0]
+        for name in GOLDEN_PREDICTORS:
+            fixture_metrics = golden.predictor(name)
+            analyzed = report["analyses"]["mispredicts"][name]
+            for field in self.AGGREGATE_FIELDS:
+                assert analyzed[field] == getattr(fixture_metrics, field), (
+                    name, field
+                )
+            assert analyzed["mpki"] == fixture_metrics.mpki
+
+    def test_per_branch_breakdown_sums_to_aggregate(self, tmp_path):
+        store = TraceStore(tmp_path)
+        Session("pi", scale=SCALE, seed=1).trace(store).run()
+        report = analyze_store(
+            store, passes=["mispredicts"],
+            **{"mispredicts": {"predictors": ("tournament",), "top": None}},
+        )[0]
+        data = report["analyses"]["mispredicts"]["tournament"]
+        assert sum(row["mispredicts"] for row in data["per_branch"]) == (
+            data["regular_mispredicts"] + data["prob_mispredicts"]
+        )
+
+
+class TestStoreSelection:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        store = TraceStore(tmp_path)
+        for workload, seed in (("pi", 0), ("pi", 1), ("dop", 0)):
+            Session(workload, scale=SCALE, seed=seed).trace(store).run()
+        return store
+
+    def test_selects_everything_by_default(self, store):
+        assert len(select_digests(store)) == 3
+
+    def test_prefix_and_selector_compose(self, store):
+        digests = select_digests(store, workload="pi")
+        assert len(digests) == 2
+        assert select_digests(store, seed=0, workload="dop") != []
+        assert select_digests(store, [digests[0][:8]]) == [digests[0]]
+        assert select_digests(store, workload=["pi", "dop"], seed=1) != []
+        assert select_digests(store, workload="greeks") == []
+
+    def test_unknown_prefix_raises(self, store):
+        with pytest.raises(LookupError):
+            select_digests(store, ["zz-no-such"])
+
+    def test_reports_carry_identity(self, store):
+        reports = analyze_store(store, passes=["instruction-mix"],
+                                selector={"workload": "dop"})
+        assert len(reports) == 1
+        report = reports[0]
+        assert report["workload"] == "dop" and report["mode"] == "base"
+        assert report["digest"] in store
+        assert report["events"] == report["analyses"][
+            "instruction-mix"]["instructions"]
+
+
+class TestAnalysisIsStreamEquivalent:
+    def test_pass_as_live_sink_matches_stored_analysis(self, tmp_path):
+        """A pass fed live by Session.sink() sees the same stream replay
+        feeds it — analysis composes with capture."""
+        store = TraceStore(tmp_path)
+        live = create_analysis("branch-entropy")
+        Session("pi", scale=SCALE, seed=4).sink(live).trace(store).run()
+        stored = analyze_store(store, passes=["branch-entropy"])[0]
+        assert live.result() == stored["analyses"]["branch-entropy"]
+
+    def test_single_reader_pass_feeds_all_consumers(self, tmp_path):
+        store = TraceStore(tmp_path)
+        Session("pi", scale=SCALE, seed=4).trace(store).run()
+        digest = store.digests()[0]
+        report = analyze_trace(store.path(digest),
+                               passes=["instruction-mix", "working-set"])
+        assert set(report["analyses"]) == {"instruction-mix", "working-set"}
+        assert report["events"] == report["analyses"][
+            "instruction-mix"]["instructions"]
+
+
+class TestAnalyzeCLI:
+    def _main(self, argv):
+        from repro.experiments.runner import main
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(argv)
+        return code, buffer.getvalue()
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        store = TraceStore(tmp_path)
+        for seed in (0, 1):
+            Session("pi", scale=SCALE, seed=seed).trace(store).run()
+        return str(tmp_path)
+
+    def test_json_reports(self, store_dir):
+        code, out = self._main([
+            "analyze", "--trace-store", store_dir,
+            "--passes", "branch-entropy,mispredicts",
+            "--predictors", "tournament", "--json",
+        ])
+        assert code == 0
+        reports = json.loads(out)
+        assert len(reports) == 2
+        for report in reports:
+            assert set(report["analyses"]) == {"branch-entropy", "mispredicts"}
+            assert list(report["analyses"]["mispredicts"]) == ["tournament"]
+            overall = report["analyses"]["branch-entropy"]["overall"]
+            assert overall["total_entropy_bits"] > 0
+
+    def test_json_is_deterministic(self, store_dir):
+        first = self._main(["analyze", "--trace-store", store_dir, "--json"])
+        second = self._main(["analyze", "--trace-store", store_dir, "--json"])
+        assert first == second
+
+    def test_selector_filters(self, store_dir):
+        code, out = self._main([
+            "analyze", "--trace-store", store_dir, "--seeds", "1",
+            "--passes", "instruction-mix", "--json",
+        ])
+        assert code == 0
+        (report,) = json.loads(out)
+        assert report["seed"] == 1
+
+    def test_human_rendering_mentions_every_pass(self, store_dir, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["analyze", "--trace-store", store_dir]) == 0
+        out = capsys.readouterr().out
+        for fragment in ("instruction-mix", "branch-entropy", "taken-rate",
+                         "mispredicts", "trace "):
+            assert fragment in out
+
+    def test_unknown_pass_fails_cleanly(self, store_dir):
+        with pytest.raises(SystemExit, match="unknown analysis"):
+            self._main(["analyze", "--trace-store", store_dir,
+                        "--passes", "nope"])
+
+    def test_missing_store_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace store"):
+            self._main(["analyze", "--trace-store", str(tmp_path / "absent")])
+
+    def test_listed_in_registry_listing(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["list", "analyses"]) == 0
+        out = capsys.readouterr().out
+        assert "branch-entropy" in out and "mispredicts" in out
+
+
+def test_entropy_study_shows_the_papers_story(tmp_path):
+    """End to end on a real workload: the probabilistic branch carries
+    (much) more direction entropy than the loop branch — the paper's
+    motivating observation, recovered from a stored trace alone."""
+    store = TraceStore(tmp_path)
+    Session("pi", scale=0.05, seed=1).trace(store).run()
+    report = analyze_store(store, passes=["branch-entropy"])[0]
+    prob = report["analyses"]["branch-entropy"]["probabilistic"]
+    regular = report["analyses"]["branch-entropy"]["regular"]
+    assert prob["bits_per_execution"] > 0.5
+    assert regular["bits_per_execution"] < 0.1
+    assert not math.isnan(prob["total_entropy_bits"])

@@ -215,7 +215,7 @@ class TestTraceStore:
         store.path(bad).write_bytes(b"garbage")
         summary = store.gc()
         assert summary == {
-            "removed": 1, "kept": 1,
+            "removed": 1, "evicted": 0, "kept": 1,
             "reclaimed_bytes": summary["reclaimed_bytes"],
         }
         assert summary["reclaimed_bytes"] > 0
@@ -251,6 +251,226 @@ class TestTraceStore:
         capture.abort()
         assert store.open(digest) is None
         assert not list(tmp_path.glob("??/*"))
+
+
+class TestTraceStoreByteBudget:
+    """`trace gc --max-bytes`: LRU eviction, touch tracking, and the
+    edge cases — interrupted gc, impossible budgets, concurrent
+    writers."""
+
+    def _capture(self, store, seed):
+        digest = trace_digest("pi", SCALE, seed, None)
+        capture = store.writer(digest)
+        for event in TestEventPacking.CASES:
+            capture.sink(event)
+        capture.commit({
+            "workload": "pi", "scale": SCALE, "seed": seed, "pbs_config": None,
+        })
+        return digest
+
+    def _stamp(self, store, digest, atime):
+        """Pin a digest's last-use stamp (what touch() does, minus the
+        wall clock)."""
+        entry = dict(store.entry(digest))
+        entry["atime"] = atime
+        store._record_unconditionally(digest, entry)
+
+    def test_open_advances_the_atime_stamp(self, tmp_path):
+        store = TraceStore(tmp_path)
+        digest = self._capture(store, 1)
+        self._stamp(store, digest, 1.0)
+        assert store.open(digest) is not None
+        assert store.entry(digest)["atime"] > 1.0
+        # The stamp survives reopen — it lives in the manifest — and
+        # the minimal touch line merges with (not replaces) the rich
+        # entry metadata.
+        reopened = TraceStore(tmp_path).entry(digest)
+        assert reopened["atime"] > 1.0
+        assert reopened["workload"] == "pi"
+        assert reopened["events"] == len(TestEventPacking.CASES)
+
+    def test_lru_falls_back_to_write_time_without_stamps(self, tmp_path):
+        # Manifests that predate atime tracking: eviction order follows
+        # the file write time, not digest order.
+        import os as _os
+
+        store = TraceStore(tmp_path)
+        digests = [self._capture(store, seed) for seed in (0, 1)]
+        manifest = tmp_path / "manifest.jsonl"
+        lines = []
+        for line in manifest.read_text().splitlines():
+            entry = json.loads(line)
+            entry.pop("atime", None)
+            lines.append(json.dumps(entry, sort_keys=True))
+        manifest.write_text("\n".join(lines) + "\n")
+        newer, older = digests  # make digests[1] the older *file*
+        _os.utime(store.path(older), (100.0, 100.0))
+        _os.utime(store.path(newer), (200.0, 200.0))
+        fresh = TraceStore(tmp_path)
+        budget = fresh.path(newer).stat().st_size
+        summary = fresh.gc(max_bytes=budget)
+        assert summary["evicted"] == 1
+        assert fresh.path(newer).exists()
+        assert not fresh.path(older).exists()
+
+    def test_lru_eviction_order_follows_last_use(self, tmp_path):
+        store = TraceStore(tmp_path)
+        digests = [self._capture(store, seed) for seed in (0, 1, 2)]
+        # Oldest write, but most recently *used*: must survive.
+        self._stamp(store, digests[0], 300.0)
+        self._stamp(store, digests[1], 100.0)
+        self._stamp(store, digests[2], 200.0)
+        sizes = {d: store.path(d).stat().st_size for d in digests}
+        budget = sizes[digests[0]] + sizes[digests[2]]
+        summary = store.gc(max_bytes=budget)
+        assert summary["evicted"] == 1 and summary["kept"] == 2
+        assert summary["reclaimed_bytes"] == sizes[digests[1]]
+        assert not store.path(digests[1]).exists()
+        assert store.path(digests[0]).exists()
+        assert store.path(digests[2]).exists()
+        assert store.total_bytes() <= budget
+        # Manifest is consistent after eviction: reopen sees exactly
+        # the survivors.
+        assert TraceStore(tmp_path).digests() == sorted(
+            [digests[0], digests[2]]
+        )
+
+    def test_budget_smaller_than_one_trace_empties_the_store(self, tmp_path):
+        store = TraceStore(tmp_path)
+        for seed in (0, 1):
+            self._capture(store, seed)
+        smallest = min(
+            path.stat().st_size for path in tmp_path.glob("??/*.trace")
+        )
+        summary = store.gc(max_bytes=smallest - 1)
+        assert summary["evicted"] == 2 and summary["kept"] == 0
+        assert store.total_bytes() == 0
+        assert len(TraceStore(tmp_path)) == 0
+
+    def test_generous_budget_evicts_nothing(self, tmp_path):
+        store = TraceStore(tmp_path)
+        for seed in (0, 1):
+            self._capture(store, seed)
+        summary = store.gc(max_bytes=store.total_bytes())
+        assert summary["evicted"] == 0 and summary["kept"] == 2
+
+    def test_manifest_rebuild_after_interrupted_gc(self, tmp_path):
+        # A gc killed between unlinking files and compacting the
+        # manifest leaves stale lines; the next open must treat them as
+        # misses and the next gc must converge to a consistent store.
+        store = TraceStore(tmp_path)
+        digests = [self._capture(store, seed) for seed in (0, 1, 2)]
+        store.path(digests[0]).unlink()   # "interrupted" mid-eviction
+        reopened = TraceStore(tmp_path)
+        assert len(reopened) == 3         # stale manifest line survives
+        assert reopened.open(digests[0]) is None   # ... but reads miss
+        summary = reopened.gc()
+        assert summary["removed"] == 1 and summary["kept"] == 2
+        assert TraceStore(tmp_path).digests() == sorted(digests[1:])
+        # Losing the manifest entirely rebuilds from the shards, and
+        # the rebuilt entries are immediately gc'able again.
+        (tmp_path / "manifest.jsonl").unlink()
+        rebuilt = TraceStore(tmp_path)
+        assert rebuilt.digests() == sorted(digests[1:])
+        assert rebuilt.gc(max_bytes=0)["evicted"] == 2
+        assert rebuilt.total_bytes() == 0
+
+    def test_concurrent_writer_during_gc(self, tmp_path):
+        import threading
+
+        store = TraceStore(tmp_path)
+        budget = 1  # evict everything the gc sees
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            seed = 100
+            writer_store = TraceStore(tmp_path)
+            try:
+                while not stop.is_set():
+                    self._capture(writer_store, seed)
+                    seed += 1
+            except Exception as exc:   # pragma: no cover — the assertion
+                failures.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(10):
+                store.gc(max_bytes=budget)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not failures, failures
+        # With the writer quiesced, one more gc restores the invariant:
+        # under budget and manifest-consistent.
+        summary = TraceStore(tmp_path).gc(max_bytes=budget)
+        final = TraceStore(tmp_path)
+        assert final.total_bytes() <= budget
+        assert final.digests() == []
+        assert summary["removed"] + summary["evicted"] >= 0  # no crash
+
+    def test_cli_gc_max_bytes(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        store = TraceStore(tmp_path)
+        for seed in (0, 1):
+            self._capture(store, seed)
+        assert main(["trace", "gc", "--trace-store", str(tmp_path),
+                     "--max-bytes", "0", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["evicted"] == 2
+        assert TraceStore(tmp_path).total_bytes() == 0
+
+    def test_cli_gc_rejects_bad_size(self, tmp_path):
+        from repro.experiments.runner import main
+
+        TraceStore(tmp_path)
+        with pytest.raises(SystemExit, match="unparsable size"):
+            main(["trace", "gc", "--trace-store", str(tmp_path),
+                  "--max-bytes", "lots"])
+
+    def test_auto_replay_falls_back_when_trace_vanishes(self, tmp_path):
+        # The gc race from the replay side: the store says hit, the
+        # event stream is gone.  auto mode re-interprets; replay mode
+        # propagates the failure.
+        store = TraceStore(tmp_path)
+        session = Session("pi", scale=SCALE, seed=6).predictors("tournament")
+        plain = session.run()
+        captured = (
+            Session("pi", scale=SCALE, seed=6).predictors("tournament")
+            .trace(store).run()
+        )
+        assert captured.trace_origin == "capture"
+
+        class VanishingStore(TraceStore):
+            def open(self, digest):
+                reader = super().open(digest)
+                if reader is not None:
+                    self.path(digest).unlink()   # evicted mid-replay
+                return reader
+
+        racing = VanishingStore(tmp_path)
+        recovered = (
+            Session("pi", scale=SCALE, seed=6).predictors("tournament")
+            .trace(racing).run()
+        )
+        assert recovered.trace_origin == "capture"   # fell back, recaptured
+        assert _normalized(recovered) == _normalized(plain)
+
+
+def test_parse_size():
+    from repro.storage import parse_size
+
+    assert parse_size(123) == 123
+    assert parse_size("500000") == 500000
+    assert parse_size("1k") == 1024
+    assert parse_size("64M") == 64 * 1024 ** 2
+    assert parse_size("1.5GiB") == int(1.5 * 1024 ** 3)
+    assert parse_size(" 2g ") == 2 * 1024 ** 3
+    for bad in ("lots", "", "12X", "k", "inf", "nan", "-1G", "-5"):
+        with pytest.raises(ValueError):
+            parse_size(bad)
 
 
 class TestShardedStoreHelper:
@@ -422,3 +642,170 @@ class TestSweepTracePlanning:
         assert stats["trace_captures"] == stats["trace_hits"] == 0
         for a, b in zip(first, second):
             assert _normalized(a) == _normalized(b)
+
+
+class TestWireTraceStreaming:
+    """Protocol v2: a coordinator streams traces it holds locally to a
+    cold worker, which verifies, stores and replays them."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return Sweep(**ACCEPTANCE_GRID).run(executor="serial")
+
+    @pytest.fixture()
+    def warm_client_store(self, tmp_path):
+        """A client-side store holding every acceptance-grid trace."""
+        store_dir = tmp_path / "client-traces"
+        warm = Sweep(**ACCEPTANCE_GRID, trace_dir=store_dir).run(
+            executor="serial"
+        )
+        assert warm.to_stats()["trace_captures"] == ACCEPTANCE_GROUPS
+        return store_dir
+
+    def test_cold_worker_serves_replays_after_one_stream(
+        self, tmp_path, baseline, warm_client_store
+    ):
+        # The acceptance criterion: a cold worker (empty --trace-dir)
+        # must serve *replay* specs after one wire stream per trace,
+        # asserted via trace_hits in the worker telemetry.
+        worker_dir = tmp_path / "worker-traces"
+        server = WorkerServer(processes=1, trace_dir=str(worker_dir)).start()
+        try:
+            executor = RemoteExecutor(workers=[server.address_string])
+            streamed = Sweep(
+                **ACCEPTANCE_GRID, trace_dir=warm_client_store
+            ).run(executor=executor)
+            telemetry = streamed.to_stats()["workers"][server.address_string]
+            assert telemetry["trace_streams"] == ACCEPTANCE_GROUPS, telemetry
+            assert telemetry["trace_stream_bytes"] > 0
+            assert telemetry["trace_hits"] == ACCEPTANCE_POINTS, telemetry
+            assert telemetry["trace_captures"] == 0, telemetry
+            for plain, shared in zip(baseline, streamed):
+                assert _normalized(plain) == _normalized(shared)
+            # The streamed traces are digest-verified, manifest-indexed
+            # worker property now: a second sweep replays without a
+            # single new stream.
+            worker_store = TraceStore(worker_dir)
+            assert len(worker_store) == ACCEPTANCE_GROUPS
+            again = Sweep(
+                **ACCEPTANCE_GRID, trace_dir=warm_client_store
+            ).run(executor=executor)
+            telemetry = again.to_stats()["workers"][server.address_string]
+            assert telemetry["trace_streams"] == 0, telemetry
+            assert telemetry["trace_hits"] == ACCEPTANCE_POINTS, telemetry
+        finally:
+            server.stop()
+
+    def test_corrupt_stream_is_rejected_and_interpreted(
+        self, tmp_path, baseline, warm_client_store, monkeypatch
+    ):
+        # A stream that fails checksum verification must never poison
+        # the worker store; the parked specs interpret locally instead.
+        import base64
+
+        from repro.sim.remote import _WorkerClient, encode_frame
+
+        def corrupt_stream(self, wfile, digest, path):
+            wfile.write(encode_frame({
+                "type": "trace_data", "digest": digest,
+                "data": base64.b64encode(b"junk").decode("ascii"),
+            }))
+            wfile.write(encode_frame({
+                "type": "trace_end", "digest": digest,
+                "sha256": "0" * 64, "bytes": 4,
+            }))
+            wfile.flush()
+            self.stats["trace_streams"] += 1
+
+        monkeypatch.setattr(_WorkerClient, "_stream_trace", corrupt_stream)
+        worker_dir = tmp_path / "worker-traces"
+        server = WorkerServer(processes=1, trace_dir=str(worker_dir)).start()
+        try:
+            executor = RemoteExecutor(workers=[server.address_string])
+            result = Sweep(
+                **ACCEPTANCE_GRID, trace_dir=warm_client_store
+            ).run(executor=executor)
+            telemetry = result.to_stats()["workers"][server.address_string]
+            # Streams were attempted, rejected, and the leaders fell
+            # back to interpret + capture on the worker.
+            assert telemetry["trace_streams"] == ACCEPTANCE_GROUPS, telemetry
+            assert telemetry["trace_captures"] == ACCEPTANCE_GROUPS, telemetry
+            for plain, shared in zip(baseline, result):
+                assert _normalized(plain) == _normalized(shared)
+            # No half-received junk in the store: only the worker's own
+            # (valid) captures.
+            for digest in TraceStore(worker_dir).digests():
+                assert TraceStore(worker_dir).open(digest) is not None
+            assert not list(worker_dir.glob("??/.*.tmp"))
+        finally:
+            server.stop()
+
+    def test_stale_offer_degrades_to_unavailable(
+        self, tmp_path, baseline, warm_client_store, monkeypatch
+    ):
+        # The offer/want race: the client offered a trace it can no
+        # longer serve.  The worker must run the spec regardless.
+        from repro.sim.remote import _WorkerClient, encode_frame
+
+        def stale_stream(self, wfile, digest, path):
+            wfile.write(encode_frame({
+                "type": "trace_unavailable", "digest": digest,
+            }))
+            wfile.flush()
+
+        monkeypatch.setattr(_WorkerClient, "_stream_trace", stale_stream)
+        server = WorkerServer(
+            processes=1, trace_dir=str(tmp_path / "worker-traces")
+        ).start()
+        try:
+            executor = RemoteExecutor(workers=[server.address_string])
+            result = Sweep(
+                **ACCEPTANCE_GRID, trace_dir=warm_client_store
+            ).run(executor=executor)
+            telemetry = result.to_stats()["workers"][server.address_string]
+            assert telemetry["trace_captures"] == ACCEPTANCE_GROUPS, telemetry
+            assert telemetry["completed"] == ACCEPTANCE_POINTS, telemetry
+            for plain, shared in zip(baseline, result):
+                assert _normalized(plain) == _normalized(shared)
+        finally:
+            server.stop()
+
+    def test_worker_trace_budget_keeps_store_bounded(
+        self, tmp_path, baseline, warm_client_store
+    ):
+        # A worker with a 1-byte budget evicts every trace the moment
+        # it lands — results stay correct, disk stays bounded.
+        worker_dir = tmp_path / "worker-traces"
+        server = WorkerServer(
+            processes=1, trace_dir=str(worker_dir), trace_max_bytes=1,
+        ).start()
+        try:
+            executor = RemoteExecutor(workers=[server.address_string])
+            result = Sweep(
+                **ACCEPTANCE_GRID, trace_dir=warm_client_store
+            ).run(executor=executor)
+            for plain, shared in zip(baseline, result):
+                assert _normalized(plain) == _normalized(shared)
+        finally:
+            server.stop()
+        assert TraceStore(worker_dir).total_bytes() <= 1
+
+    def test_cold_client_never_offers(self, tmp_path, baseline):
+        # No client-side store on disk -> no stream offers, and (as
+        # before v2) the worker interprets leaders itself.
+        server = WorkerServer(
+            processes=1, trace_dir=str(tmp_path / "worker-traces")
+        ).start()
+        try:
+            executor = RemoteExecutor(workers=[server.address_string])
+            result = Sweep(
+                **ACCEPTANCE_GRID, trace_dir=tmp_path / "client-never-made"
+            ).run(executor=executor)
+            telemetry = result.to_stats()["workers"][server.address_string]
+            assert telemetry["trace_streams"] == 0, telemetry
+            assert telemetry["trace_captures"] == ACCEPTANCE_GROUPS, telemetry
+            assert telemetry["trace_hits"] == (
+                ACCEPTANCE_POINTS - ACCEPTANCE_GROUPS
+            ), telemetry
+        finally:
+            server.stop()
