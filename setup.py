@@ -37,6 +37,7 @@ setup(
         "console_scripts": [
             "pbs-experiments = repro.experiments.runner:main",
             "repro-worker = repro.sim.remote:worker_main",
+            "repro-coordinator = repro.serve.coordinator:coordinator_main",
         ],
     },
     classifiers=[

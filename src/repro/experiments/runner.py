@@ -161,6 +161,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep_parser.add_argument(
+        "--coordinator", type=str, default=None, metavar="HOST:PORT",
+        help=(
+            "repro-coordinator address for --executor http "
+            "(default: the REPRO_COORDINATOR environment variable)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--token", type=str, default=None, metavar="SECRET",
+        help="shared secret for --coordinator (default: $REPRO_TOKEN)",
+    )
+    sweep_parser.add_argument(
         "--cache-dir", type=str, default=".pbs-cache",
         help="on-disk result cache (use '' to disable)",
     )
@@ -377,6 +388,20 @@ def _cmd_sweep(args) -> int:
             owned = executor = RemoteExecutor(workers=args.workers)
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+    elif args.coordinator or executor == "http":
+        if executor not in (None, "http"):
+            raise SystemExit(
+                f"--coordinator only applies to --executor http, not {executor!r}"
+            )
+        from ..sim import HttpExecutor
+
+        try:
+            executor = HttpExecutor(
+                coordinator=args.coordinator, token=args.token
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        owned = executor
     try:
         results = sweep.run(
             processes=args.processes,
@@ -388,7 +413,11 @@ def _cmd_sweep(args) -> int:
             owned.close()
             if args.progress:
                 for address, stats in sorted(owned.telemetry.items()):
-                    print(f"[worker {address}] " + "  ".join(
+                    label = (
+                        address if address.startswith("coordinator:")
+                        else f"worker {address}"
+                    )
+                    print(f"[{label}] " + "  ".join(
                         f"{key}={value}" for key, value in stats.items()
                     ), file=sys.stderr)
     if args.stats_json:

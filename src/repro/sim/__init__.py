@@ -37,6 +37,7 @@ from .executors import (
 )
 from .remote import (
     PROTOCOL_VERSION,
+    CoordinatorWorker,
     ProtocolError,
     RemoteExecutor,
     WorkerServer,
@@ -59,6 +60,16 @@ from .results import CoreMetrics, PBSMetrics, PredictorMetrics, RunResult
 from .session import DEFAULT_SCALE, DEFAULT_SEED, FanOut, Session
 from .sweep import MODES, RunSpec, Sweep, SweepResult
 
+# Imported last: repro.serve.client needs .executors and .results, both
+# already bound above, and registers the "http" executor as a side effect.
+from ..serve.client import (  # noqa: E402
+    COORDINATOR_ENV,
+    TOKEN_ENV,
+    CoordinatorClient,
+    CoordinatorError,
+    HttpExecutor,
+)
+
 __all__ = [
     "CACHE_VERSION",
     "ResultCache",
@@ -72,11 +83,17 @@ __all__ = [
     "executor_names",
     "register_executor",
     "PROTOCOL_VERSION",
+    "CoordinatorWorker",
     "ProtocolError",
     "RemoteExecutor",
     "WorkerServer",
     "decode_frame",
     "encode_frame",
+    "COORDINATOR_ENV",
+    "TOKEN_ENV",
+    "CoordinatorClient",
+    "CoordinatorError",
+    "HttpExecutor",
     "all_workloads",
     "baseline_predictors",
     "create_predictor",

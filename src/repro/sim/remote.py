@@ -83,6 +83,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import socket
 import socketserver
 import sys
@@ -184,6 +185,70 @@ def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
 # Worker daemon.
 # ----------------------------------------------------------------------
 
+class _SimulationHost:
+    """State shared by both worker flavours — the listening
+    :class:`WorkerServer` and the dial-out :class:`CoordinatorWorker`:
+    a sharded result cache, a lazily-spawned multiprocessing pool, and
+    a byte-budgeted local trace store."""
+
+    def _init_host(self, processes, cache_dir, trace_dir,
+                   trace_max_bytes, verbose) -> None:
+        self.processes = processes
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.trace_dir = str(trace_dir) if trace_dir else None
+        self.trace_max_bytes = trace_max_bytes
+        self.verbose = verbose
+        self._trace_store = None
+        self._pool = None
+        self._lock = threading.Lock()
+
+    @property
+    def pool(self):
+        with self._lock:
+            if self._pool is None:
+                self._pool = _pool_context().Pool(self.processes)
+            return self._pool
+
+    @property
+    def trace_store(self):
+        """The worker's local :class:`~repro.trace.TraceStore` (lazy)."""
+        with self._lock:
+            if self._trace_store is None:
+                from ..trace import TraceStore
+
+                self._trace_store = TraceStore(self.trace_dir)
+            return self._trace_store
+
+    def _note_trace_write(self) -> None:
+        """A trace landed in the store; enforce the byte budget if set."""
+        if self.trace_max_bytes is None or self.trace_dir is None:
+            return
+        store = self.trace_store
+        # Cheap size probe first: the full gc (metadata decode of every
+        # trace + manifest compaction) only runs when over budget.
+        if store.total_bytes() <= self.trace_max_bytes:
+            return
+        with self._lock:
+            summary = store.gc(max_bytes=self.trace_max_bytes)
+        if summary["evicted"]:
+            self._log(
+                f"trace store over {self.trace_max_bytes} bytes: evicted "
+                f"{summary['evicted']} traces "
+                f"({summary['reclaimed_bytes']} bytes reclaimed)"
+            )
+
+    def _close_pool(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def _log(self, message: str) -> None:  # pragma: no cover — overridden
+        if self.verbose:
+            print(f"[repro-worker] {message}", file=sys.stderr, flush=True)
+
+
 class _WorkerTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
@@ -259,6 +324,14 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                         "message": f"unexpected frame type {message['type']!r}",
                     })
                     return
+                if worker._draining:
+                    # Refuse, but keep the connection alive: pool
+                    # callbacks for specs already running still need it.
+                    self._send(write_lock, {
+                        "type": "error", "id": message.get("id"),
+                        "message": "worker is draining; resubmit elsewhere",
+                    })
+                    continue
                 if not worker._note_request():
                     return  # fail_after test hook fired: simulate a crash
                 self._handle_run(write_lock, message)
@@ -353,27 +426,35 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         worker: WorkerServer = self.server.owner
 
         def deliver(result: RunResult) -> None:
-            if worker.cache is not None:
-                worker.cache.put(digest, result)
-            if result.trace_origin == "capture":
-                worker._note_trace_write()
-            worker._log(
-                f"ran {spec.workload} scale={spec.scale:g} seed={spec.seed} "
-                f"{spec.mode} in {result.wall_time:.2f}s"
-                + (f" [trace {result.trace_origin}]" if result.trace_origin else "")
-            )
-            self._send_quietly(write_lock, {
-                "type": "result", "id": run_id,
-                "result": result.to_dict(), "cached": False,
-                "trace": result.trace_origin,
-            })
+            try:
+                if worker.cache is not None:
+                    worker.cache.put(digest, result)
+                if result.trace_origin == "capture":
+                    worker._note_trace_write()
+                worker._log(
+                    f"ran {spec.workload} scale={spec.scale:g} seed={spec.seed} "
+                    f"{spec.mode} in {result.wall_time:.2f}s"
+                    + (f" [trace {result.trace_origin}]"
+                       if result.trace_origin else "")
+                )
+                self._send_quietly(write_lock, {
+                    "type": "result", "id": run_id,
+                    "result": result.to_dict(), "cached": False,
+                    "trace": result.trace_origin,
+                })
+            finally:
+                worker._end_run()
 
         def failed(exc: BaseException) -> None:
-            self._send_quietly(write_lock, {
-                "type": "error", "id": run_id,
-                "message": f"simulation failed: {exc!r}",
-            })
+            try:
+                self._send_quietly(write_lock, {
+                    "type": "error", "id": run_id,
+                    "message": f"simulation failed: {exc!r}",
+                })
+            finally:
+                worker._end_run()
 
+        worker._begin_run()
         if worker.processes <= 1:
             try:
                 result = _execute_spec(spec)
@@ -469,7 +550,7 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         self._incoming.clear()
 
 
-class WorkerServer:
+class WorkerServer(_SimulationHost):
     """A ``repro-worker`` daemon, embeddable in-process for tests.
 
     ``port=0`` binds an ephemeral port (read it back from
@@ -502,18 +583,15 @@ class WorkerServer:
         protocol_version: int = PROTOCOL_VERSION,
         cache_version: int = CACHE_VERSION,
     ):
-        self.processes = processes
-        self.cache = ResultCache(cache_dir) if cache_dir else None
-        self.trace_dir = str(trace_dir) if trace_dir else None
-        self.trace_max_bytes = trace_max_bytes
-        self._trace_store = None
+        self._init_host(processes, cache_dir, trace_dir,
+                        trace_max_bytes, verbose)
         self.fail_after = fail_after
-        self.verbose = verbose
         self.protocol_version = protocol_version
         self.cache_version = cache_version
         self.requests = 0
-        self._pool = None
-        self._lock = threading.Lock()
+        self._inflight = 0
+        self._draining = False
+        self._drain_cond = threading.Condition(self._lock)
         self._connections: set = set()
         self._server = _WorkerTCPServer((host, port), _ConnectionHandler)
         self._server.owner = self
@@ -529,41 +607,6 @@ class WorkerServer:
     def address_string(self) -> str:
         host, port = self.address
         return f"{host}:{port}"
-
-    @property
-    def pool(self):
-        with self._lock:
-            if self._pool is None:
-                self._pool = _pool_context().Pool(self.processes)
-            return self._pool
-
-    @property
-    def trace_store(self):
-        """The worker's local :class:`~repro.trace.TraceStore` (lazy)."""
-        with self._lock:
-            if self._trace_store is None:
-                from ..trace import TraceStore
-
-                self._trace_store = TraceStore(self.trace_dir)
-            return self._trace_store
-
-    def _note_trace_write(self) -> None:
-        """A trace landed in the store; enforce the byte budget if set."""
-        if self.trace_max_bytes is None or self.trace_dir is None:
-            return
-        store = self.trace_store
-        # Cheap size probe first: the full gc (metadata decode of every
-        # trace + manifest compaction) only runs when over budget.
-        if store.total_bytes() <= self.trace_max_bytes:
-            return
-        with self._lock:
-            summary = store.gc(max_bytes=self.trace_max_bytes)
-        if summary["evicted"]:
-            self._log(
-                f"trace store over {self.trace_max_bytes} bytes: evicted "
-                f"{summary['evicted']} traces "
-                f"({summary['reclaimed_bytes']} bytes reclaimed)"
-            )
 
     def start(self) -> "WorkerServer":
         """Serve in a daemon thread; returns self for chaining."""
@@ -604,13 +647,42 @@ class WorkerServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
-        with self._lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        self._close_pool()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new specs, wait for in-flight ones
+        to finish (results flushed to their clients), then stop.
+
+        ``run`` frames received while draining are answered with an
+        ``error`` frame, which the client requeues on its remaining
+        workers; the connections stay open so pool callbacks for specs
+        already running can still deliver.  Returns ``True`` when
+        everything drained before ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._drain_cond:
+            self._draining = True
+            while self._inflight > 0:
+                remaining = 0.5
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._drain_cond.wait(min(remaining, 0.5))
+            drained = self._inflight == 0
+        self.stop(force=True)
+        return drained
 
     # -- handler support ------------------------------------------------
+
+    def _begin_run(self) -> None:
+        with self._lock:
+            self._inflight += 1
+
+    def _end_run(self) -> None:
+        with self._drain_cond:
+            self._inflight -= 1
+            self._drain_cond.notify_all()
 
     def _track(self, conn, add: bool) -> None:
         with self._lock:
@@ -677,11 +749,32 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--coordinator", default=None, metavar="HOST:PORT",
+        help=(
+            "dial into a repro-coordinator and serve leased specs "
+            "instead of listening for direct connections"
+        ),
+    )
+    parser.add_argument(
+        "--token", default=None, metavar="SECRET",
+        help="shared secret for --coordinator (default: $REPRO_TOKEN)",
+    )
+    parser.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="name prefix this worker registers under with the coordinator",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "on SIGTERM/SIGINT, wait this long for in-flight specs to "
+            "finish and flush before exiting (default 30)"
+        ),
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="log one line per served request to stderr",
     )
     args = parser.parse_args(argv)
-    host, port = parse_address(args.listen)
     trace_max_bytes = None
     if args.trace_max_bytes is not None:
         from ..storage import parse_size
@@ -692,12 +785,58 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
             trace_max_bytes = parse_size(args.trace_max_bytes)
         except ValueError as exc:
             parser.error(str(exc))
+
+    # Signals set an event instead of raising: the serving threads keep
+    # running while the main thread drains in-flight specs gracefully.
+    stop_signal = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 — signal handler shape
+        stop_signal.set()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    except ValueError:
+        pass  # not the main thread (embedded); rely on KeyboardInterrupt
+
+    if args.coordinator is not None:
+        try:
+            worker = CoordinatorWorker(
+                args.coordinator, processes=args.processes,
+                cache_dir=args.cache_dir, trace_dir=args.trace_dir,
+                trace_max_bytes=trace_max_bytes, token=args.token,
+                name=args.name, verbose=args.verbose,
+            ).start()
+        except (OSError, ProtocolError, _FatalWorkerError) as exc:
+            print(f"repro-worker: cannot register with {args.coordinator}: {exc}",
+                  file=sys.stderr, flush=True)
+            return 1
+        print(
+            f"repro-worker registered with {args.coordinator} as "
+            f"{worker.worker_id} (protocol v{PROTOCOL_VERSION}, "
+            f"cache v{CACHE_VERSION}, processes={args.processes})",
+            file=sys.stderr, flush=True,
+        )
+        try:
+            while not stop_signal.wait(0.2):
+                if worker.stopped.is_set():
+                    print("repro-worker: lost the coordinator, exiting",
+                          file=sys.stderr, flush=True)
+                    return 1
+        except KeyboardInterrupt:
+            pass
+        print("repro-worker: draining before shutdown",
+              file=sys.stderr, flush=True)
+        worker.drain(timeout=args.drain_timeout)
+        return 0
+
+    host, port = parse_address(args.listen)
     server = WorkerServer(
         host=host, port=port, processes=args.processes,
         cache_dir=args.cache_dir, trace_dir=args.trace_dir,
         trace_max_bytes=trace_max_bytes,
         verbose=args.verbose,
-    )
+    ).start()
     print(
         f"repro-worker listening on {server.address_string} "
         f"(protocol v{PROTOCOL_VERSION}, cache v{CACHE_VERSION}, "
@@ -705,12 +844,13 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
         file=sys.stderr, flush=True,
     )
     try:
-        server.serve_forever()
+        while not stop_signal.wait(0.2):
+            pass
     except KeyboardInterrupt:
-        print("repro-worker: interrupted, shutting down",
-              file=sys.stderr, flush=True)
-    finally:
-        server.stop()
+        pass
+    print("repro-worker: draining before shutdown",
+          file=sys.stderr, flush=True)
+    server.drain(timeout=args.drain_timeout)
     return 0
 
 
@@ -1192,6 +1332,370 @@ class RemoteExecutor(Executor):
                 f"{len(specs)} specs: {reason}"
             )
         return results
+
+
+# ----------------------------------------------------------------------
+# Coordinator-registered worker.
+# ----------------------------------------------------------------------
+
+class CoordinatorWorker(_SimulationHost):
+    """A ``repro-worker`` that dials into a ``repro-coordinator``
+    instead of listening: ``repro-worker --coordinator host:port``.
+
+    The worker opens one TCP connection, sends a ``register`` frame
+    (token, protocol and cache version, process count), and then serves
+    ``run`` frames the coordinator pushes under its lease.  A heartbeat
+    frame every ``heartbeat_seconds`` (announced by the coordinator at
+    registration) keeps the lease alive while long specs simulate; if
+    the connection drops, the worker reconnects and re-registers with
+    backoff while the coordinator reschedules whatever it was leasing.
+
+    Simulation behaviour — result cache, trace store with byte budget,
+    inline vs pooled execution — is identical to :class:`WorkerServer`
+    (both share :class:`_SimulationHost`).  ``fail_after=N`` is a test
+    hook: the worker severs its connection after its N-th ``run``
+    frame, simulating a worker killed mid-grid.
+    """
+
+    def __init__(
+        self,
+        coordinator: Union[str, Tuple[str, int]],
+        processes: int = 1,
+        cache_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        trace_max_bytes: Optional[int] = None,
+        token: Optional[str] = None,
+        name: Optional[str] = None,
+        fail_after: Optional[int] = None,
+        verbose: bool = False,
+        timeout: float = 300.0,
+        reconnect_attempts: int = 5,
+        reconnect_delay: float = 0.2,
+        protocol_version: int = PROTOCOL_VERSION,
+        cache_version: int = CACHE_VERSION,
+    ):
+        self._init_host(processes, cache_dir, trace_dir,
+                        trace_max_bytes, verbose)
+        if isinstance(coordinator, tuple) or ":" in str(coordinator):
+            self.coordinator = parse_address(coordinator)
+        else:
+            from ..serve.client import DEFAULT_PORT as _COORDINATOR_PORT
+
+            self.coordinator = (str(coordinator).strip(), _COORDINATOR_PORT)
+        if token is None:
+            from ..serve.client import TOKEN_ENV
+
+            token = os.environ.get(TOKEN_ENV) or None
+        self.token = token
+        self.name = name
+        self.fail_after = fail_after
+        self.timeout = timeout
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay = reconnect_delay
+        self.protocol_version = protocol_version
+        self.cache_version = cache_version
+        self.requests = 0
+        self.completed = 0
+        self.worker_id: Optional[str] = None
+        self.heartbeat_seconds = 5.0
+        #: Set when the worker gives up — stopped, failed, or drained.
+        self.stopped = threading.Event()
+        self._draining = False
+        self._inflight = 0
+        self._drain_cond = threading.Condition(self._lock)
+        self._write_lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        self._thread: Optional[threading.Thread] = None
+        self._heartbeat: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "CoordinatorWorker":
+        """Register, then serve on daemon threads; returns self.
+
+        Registration happens synchronously so a bad token or a version
+        mismatch raises here instead of dying silently in a thread.
+        """
+        self._connect()
+        label = f"{self.coordinator[0]}:{self.coordinator[1]}"
+        self._thread = threading.Thread(
+            target=self._serve_loop, daemon=True,
+            name=f"repro-worker@{label}",
+        )
+        self._thread.start()
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, daemon=True,
+            name=f"repro-worker-heartbeat@{label}",
+        )
+        self._heartbeat.start()
+        return self
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(self.coordinator, timeout=self.timeout)
+        sock.settimeout(None)  # blocking reads; stop() severs the socket
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        frame = {
+            "type": "register",
+            "protocol": self.protocol_version,
+            "cache_version": self.cache_version,
+            "processes": self.processes,
+            "trace_store": self.trace_dir is not None,
+        }
+        if self.token:
+            frame["token"] = self.token
+        if self.name:
+            frame["name"] = self.name
+        try:
+            wfile.write(encode_frame(frame))
+            wfile.flush()
+            reply = _read_frame(rfile)
+        except OSError:
+            sock.close()
+            raise
+        if reply is None:
+            sock.close()
+            raise ProtocolError(
+                "coordinator closed the connection during registration"
+            )
+        if reply.get("type") == "error":
+            sock.close()
+            raise _FatalWorkerError(
+                reply.get("message", "registration refused")
+            )
+        if reply.get("type") != "registered":
+            sock.close()
+            raise ProtocolError(
+                f"expected registered, got {reply.get('type')!r}"
+            )
+        self.worker_id = reply.get("worker")
+        try:
+            self.heartbeat_seconds = float(
+                reply.get("heartbeat_seconds") or 5.0
+            )
+        except (TypeError, ValueError):
+            self.heartbeat_seconds = 5.0
+        self._sock, self._rfile, self._wfile = sock, rfile, wfile
+        self._log(f"registered as {self.worker_id}")
+
+    def _serve_loop(self) -> None:
+        attempts_left = self.reconnect_attempts
+        try:
+            while not self.stopped.is_set():
+                try:
+                    self._serve_connection()
+                    return  # clean bye from the coordinator
+                except (OSError, ProtocolError, ValueError) as exc:
+                    if self.stopped.is_set() or self._draining:
+                        return
+                    self._log(f"coordinator connection lost: {exc}")
+                while not self.stopped.is_set():
+                    if attempts_left <= 0:
+                        self._log("giving up on the coordinator")
+                        return
+                    attempts_left -= 1
+                    time.sleep(self.reconnect_delay)
+                    try:
+                        self._connect()
+                        attempts_left = self.reconnect_attempts
+                        break
+                    except (OSError, ProtocolError, _FatalWorkerError) as exc:
+                        self._log(f"re-registration failed: {exc}")
+        finally:
+            self.stopped.set()
+
+    def _serve_connection(self) -> None:
+        while True:
+            message = _read_frame(self._rfile)
+            if message is None or message["type"] == "bye":
+                return
+            kind = message["type"]
+            if kind == "run":
+                self._handle_run(message)
+            elif kind == "ping":
+                self._send_quietly({"type": "pong"})
+            elif kind == "error":
+                self._log(f"coordinator error: {message.get('message')}")
+            # pong / anything else: ignore
+
+    def stop(self, send_bye: bool = True) -> None:
+        already = self.stopped.is_set()
+        self.stopped.set()
+        if send_bye and not already:
+            self._send_quietly({"type": "bye"})
+        self._sever()
+        current = threading.current_thread()
+        for thread in (self._thread, self._heartbeat):
+            if thread is not None and thread is not current:
+                thread.join(timeout=5)
+        self._thread = self._heartbeat = None
+        self._close_pool()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: announce the drain (the coordinator stops
+        leasing to us), finish and flush in-flight specs, then leave.
+        Returns ``True`` when everything drained before ``timeout``."""
+        with self._drain_cond:
+            self._draining = True
+        self._send_quietly({"type": "draining"})
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._drain_cond:
+            while self._inflight > 0:
+                remaining = 0.5
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._drain_cond.wait(min(remaining, 0.5))
+            drained = self._inflight == 0
+        self.stop()
+        return drained
+
+    def _sever(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # -- serving --------------------------------------------------------
+
+    def _send(self, message: Dict) -> None:
+        with self._write_lock:
+            self._wfile.write(encode_frame(message))
+            self._wfile.flush()
+
+    def _send_quietly(self, message: Dict) -> None:
+        try:
+            self._send(message)
+        except (OSError, ValueError, AttributeError):
+            pass  # connection gone; the coordinator's lease recovers
+
+    def _end_run(self) -> None:
+        with self._drain_cond:
+            self._inflight -= 1
+            self._drain_cond.notify_all()
+
+    def _heartbeat_loop(self) -> None:
+        # Heartbeats keep flowing during a drain: they renew the lease
+        # on the in-flight specs we are still finishing.
+        while not self.stopped.wait(self.heartbeat_seconds):
+            self._send_quietly({"type": "heartbeat"})
+
+    def _handle_run(self, message: Dict) -> None:
+        run_id = message.get("id")
+        self.requests += 1
+        if self.fail_after is not None and self.requests > self.fail_after:
+            # Test hook: a worker killed mid-grid.  Sever without bye or
+            # drain; the coordinator's lease machinery must recover.
+            self.stopped.set()
+            self._sever()
+            raise OSError("fail_after test hook tripped")
+        if self._draining:
+            self._send_quietly({
+                "type": "error", "id": run_id,
+                "message": "worker is draining; resubmit elsewhere",
+            })
+            return
+        try:
+            spec = RunSpec.from_dict(message["spec"])
+        except Exception as exc:
+            self._send_quietly({
+                "type": "error", "id": run_id,
+                "message": f"undecodable spec: {exc}",
+            })
+            return
+        directive = message.get("trace")
+        if directive and self.trace_dir is not None:
+            from dataclasses import replace as _replace
+
+            spec = _replace(
+                spec,
+                trace_store=self.trace_dir,
+                trace_mode=str(directive.get("mode") or "auto"),
+            )
+        digest = spec.digest()
+        claimed = message.get("digest")
+        if claimed is not None and claimed != digest:
+            self._send_quietly({
+                "type": "error", "id": run_id,
+                "message": (
+                    f"digest mismatch: coordinator says {claimed}, worker "
+                    f"computes {digest} — incompatible spec encodings"
+                ),
+            })
+            return
+        if self.cache is not None:
+            hit = self.cache.get(digest)
+            if hit is not None:
+                self._log(
+                    f"cache hit {spec.workload} seed={spec.seed} {spec.mode}"
+                )
+                self._send_quietly({
+                    "type": "result", "id": run_id,
+                    "result": hit.to_dict(), "cached": True,
+                })
+                return
+
+        with self._lock:
+            self._inflight += 1
+
+        def deliver(result: RunResult) -> None:
+            try:
+                if self.cache is not None:
+                    self.cache.put(digest, result)
+                if result.trace_origin == "capture":
+                    self._note_trace_write()
+                self.completed += 1
+                self._log(
+                    f"ran {spec.workload} scale={spec.scale:g} "
+                    f"seed={spec.seed} {spec.mode} in {result.wall_time:.2f}s"
+                    + (f" [trace {result.trace_origin}]"
+                       if result.trace_origin else "")
+                )
+                self._send_quietly({
+                    "type": "result", "id": run_id,
+                    "result": result.to_dict(), "cached": False,
+                    "trace": result.trace_origin,
+                })
+            finally:
+                self._end_run()
+
+        def failed(exc: BaseException) -> None:
+            try:
+                self._send_quietly({
+                    "type": "error", "id": run_id,
+                    "message": f"simulation failed: {exc!r}",
+                })
+            finally:
+                self._end_run()
+
+        if self.processes <= 1:
+            try:
+                result = _execute_spec(spec)
+            except Exception as exc:
+                failed(exc)
+                return
+            deliver(result)
+        else:
+            self.pool.apply_async(
+                _execute_spec, (spec,),
+                callback=deliver, error_callback=failed,
+            )
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            label = self.worker_id or f"@{self.coordinator[0]}:{self.coordinator[1]}"
+            print(f"[repro-worker {label}] {message}",
+                  file=sys.stderr, flush=True)
 
 
 if __name__ == "__main__":  # pragma: no cover — `python -m repro.sim.remote`

@@ -66,24 +66,31 @@ _SIZE_SUFFIXES = {
 def parse_size(text: Union[str, int]) -> int:
     """A human byte count — ``"500000"``, ``"64M"``, ``"1.5GiB"`` — in bytes.
 
-    Suffixes are binary (``k`` = 1024) and case-insensitive; a bare int
-    passes through.  Raises ``ValueError`` on anything else.
+    Suffixes are binary (``k`` = 1024) and case-insensitive; a bare
+    non-negative int passes through unchanged, so programmatic callers
+    and the CLI agree on what a plain number means.  Negative sizes —
+    bare ints included — and anything unparsable raise ``ValueError``
+    with a message naming the offending input.
     """
+    if isinstance(text, bool):
+        # bool is an int subclass; a byte budget of True is a bug.
+        raise ValueError(f"size must be a byte count, not {text!r}")
     if isinstance(text, int):
-        return text
-    raw = text.strip().lower()
-    number = raw.rstrip("kmgtib")
-    suffix = raw[len(number):]
-    try:
-        multiplier = _SIZE_SUFFIXES[suffix]
-        size = int(float(number) * multiplier)
-        if size < 0:
-            raise ValueError
-        return size
-    except (KeyError, ValueError, OverflowError):  # OverflowError: "inf"
-        raise ValueError(
-            f"unparsable size {text!r}; want e.g. 500000, 64M or 1.5GiB"
-        ) from None
+        size = text
+    else:
+        raw = text.strip().lower()
+        number = raw.rstrip("kmgtib")
+        suffix = raw[len(number):]
+        try:
+            multiplier = _SIZE_SUFFIXES[suffix]
+            size = int(float(number) * multiplier)
+        except (KeyError, ValueError, OverflowError):  # OverflowError: "inf"
+            raise ValueError(
+                f"unparsable size {text!r}; want e.g. 500000, 64M or 1.5GiB"
+            ) from None
+    if size < 0:
+        raise ValueError(f"size may not be negative, got {text!r}")
+    return size
 
 
 def looks_like_digest(stem: str) -> bool:

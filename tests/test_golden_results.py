@@ -3,8 +3,10 @@
 Every registered executor backend replays the checked-in canonical grid
 (``tests/golden/``) and must reproduce each fixture **byte for byte**
 after wall-time normalization.  The ``remote`` backend runs against an
-in-process ``WorkerServer`` on localhost, so the whole wire protocol is
-under the same bit-identical contract as the local backends.
+in-process ``WorkerServer`` on localhost and the ``http`` backend
+against an in-process ``Coordinator`` with one registered
+``CoordinatorWorker``, so both wire protocols are under the same
+bit-identical contract as the local backends.
 
 If a fixture diff is *intentional* (simulation semantics changed),
 regenerate with ``PYTHONPATH=src python -m tests.golden.regen`` and
@@ -16,7 +18,15 @@ from dataclasses import replace
 
 import pytest
 
-from repro.sim import EXECUTORS, RunSpec, Sweep, WorkerServer, create_executor
+from repro.serve import Coordinator
+from repro.sim import (
+    EXECUTORS,
+    CoordinatorWorker,
+    RunSpec,
+    Sweep,
+    WorkerServer,
+    create_executor,
+)
 
 from .golden import GOLDEN_DIR, MANIFEST_PATH, fixture_name, golden_specs, normalized_json
 
@@ -28,12 +38,27 @@ def worker():
     server.stop()
 
 
+@pytest.fixture(scope="module")
+def service():
+    """A coordinator with one registered worker, for the http backend."""
+    coordinator = Coordinator(port=0).start()
+    worker = CoordinatorWorker(coordinator.address, processes=1).start()
+    assert coordinator.wait_for_workers(1, timeout=10)
+    yield coordinator
+    worker.stop()
+    coordinator.stop()
+
+
 def _manifest():
     return json.loads(MANIFEST_PATH.read_text())
 
 
-def _build(name, worker):
-    options = {"workers": [worker.address_string]} if name == "remote" else {}
+def _build(name, worker, service):
+    options = {}
+    if name == "remote":
+        options["workers"] = [worker.address_string]
+    elif name == "http":
+        options["coordinator"] = service.address
     return create_executor(name, processes=2, **options)
 
 
@@ -64,10 +89,10 @@ class TestGoldenCorpus:
 
 
 @pytest.mark.parametrize("name", sorted(EXECUTORS))
-def test_executor_reproduces_golden_corpus(name, worker):
+def test_executor_reproduces_golden_corpus(name, worker, service):
     entries = _manifest()
     specs = [RunSpec.from_dict(entry["spec"]) for entry in entries]
-    executor = _build(name, worker)
+    executor = _build(name, worker, service)
     try:
         results = executor.map(specs)
     finally:
@@ -92,10 +117,20 @@ def test_capture_then_replay_reproduces_golden_corpus(name, tmp_path):
         replace(RunSpec.from_dict(entry["spec"]), trace_store=str(tmp_path))
         for entry in entries
     ]
-    server = None
+    teardown = []
     if name == "remote":
         server = WorkerServer(processes=1, trace_dir=str(tmp_path)).start()
+        teardown.append(server.stop)
         executor = create_executor(name, workers=[server.address_string])
+    elif name == "http":
+        coordinator = Coordinator(port=0).start()
+        teardown.append(coordinator.stop)
+        trace_worker = CoordinatorWorker(
+            coordinator.address, processes=1, trace_dir=str(tmp_path)
+        ).start()
+        teardown.insert(0, trace_worker.stop)
+        assert coordinator.wait_for_workers(1, timeout=10)
+        executor = create_executor(name, coordinator=coordinator.address)
     else:
         executor = create_executor(name, processes=2)
     try:
@@ -103,8 +138,8 @@ def test_capture_then_replay_reproduces_golden_corpus(name, tmp_path):
         second = executor.map(specs)
     finally:
         executor.close()
-        if server is not None:
-            server.stop()
+        for hook in teardown:
+            hook()
     for entry, captured, replayed in zip(entries, first, second):
         expected = (GOLDEN_DIR / entry["fixture"]).read_text()
         assert normalized_json(captured) == expected, (
@@ -122,7 +157,7 @@ def test_remote_matches_serial_on_16_point_grid(worker):
     grid = dict(workloads=["pi"], scales=(0.02,), seeds=tuple(range(8)))
     assert len(Sweep(**grid).specs()) == 16
     serial = Sweep(**grid).run(executor="serial")
-    executor = _build("remote", worker)
+    executor = _build("remote", worker, None)
     try:
         remote = Sweep(**grid).run(executor=executor)
     finally:

@@ -463,6 +463,8 @@ def test_parse_size():
     from repro.storage import parse_size
 
     assert parse_size(123) == 123
+    assert parse_size(0) == 0
+    assert parse_size("0") == 0
     assert parse_size("500000") == 500000
     assert parse_size("1k") == 1024
     assert parse_size("64M") == 64 * 1024 ** 2
@@ -471,6 +473,12 @@ def test_parse_size():
     for bad in ("lots", "", "12X", "k", "inf", "nan", "-1G", "-5"):
         with pytest.raises(ValueError):
             parse_size(bad)
+    # Bare negative ints are as wrong as "-1G" strings.
+    with pytest.raises(ValueError, match="negative"):
+        parse_size(-5)
+    # bool is an int subclass; a byte budget of True is a bug upstream.
+    with pytest.raises(ValueError, match="byte count"):
+        parse_size(True)
 
 
 class TestShardedStoreHelper:
