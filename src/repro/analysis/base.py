@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Type
 
+from ..sim.registry import Registry, validate_options
+
 
 class AnalysisPass:
     """One streaming trace consumer: feed events, then read the result.
@@ -50,15 +52,19 @@ class AnalysisPass:
 
 
 #: name -> AnalysisPass subclass (see :func:`register_analysis`).
-ANALYSES: Dict[str, Type[AnalysisPass]] = {}
+ANALYSES = Registry("analysis", catalog="registered passes")
 
 
-def register_analysis(name: str):
-    """Class decorator registering an :class:`AnalysisPass` under ``name``."""
+def register_analysis(name: str, *, replace: bool = False):
+    """Class decorator registering an :class:`AnalysisPass` under ``name``.
+
+    Duplicate names raise ``ValueError``; pass ``replace=True`` to
+    deliberately override a built-in pass.
+    """
 
     def decorator(cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
         cls.name = name
-        ANALYSES[name] = cls
+        ANALYSES.register(name, cls, replace=replace)
         return cls
 
     return decorator
@@ -69,13 +75,22 @@ def analysis_names() -> List[str]:
     return list(ANALYSES)
 
 
+def get_analysis(name: str) -> Type[AnalysisPass]:
+    """The registered :class:`AnalysisPass` subclass for ``name``."""
+    return ANALYSES.get(name)
+
+
+def list_analyses() -> List[str]:
+    """Uniform ``list_*`` alias for :func:`analysis_names`."""
+    return analysis_names()
+
+
 def create_analysis(name: str, **options) -> AnalysisPass:
-    """Instantiate the registered pass ``name`` with ``options``."""
-    try:
-        cls = ANALYSES[name]
-    except KeyError:
-        known = ", ".join(sorted(ANALYSES))
-        raise KeyError(
-            f"unknown analysis {name!r}; registered passes: {known}"
-        ) from None
+    """Instantiate the registered pass ``name`` with ``options``.
+
+    Options the pass constructor does not accept raise ``TypeError``
+    naming the valid ones.
+    """
+    cls = ANALYSES.get(name)
+    validate_options("analysis", name, cls, options)
     return cls(**options)

@@ -1,0 +1,48 @@
+"""Tiered execution engines: how a decoded program actually runs.
+
+An :class:`~repro.engines.base.Engine` picks the machinery that executes
+one workload program — the same program, the same results, different
+speed/capability trade-offs:
+
+* ``"interp"`` — the reference pre-decoded interpreter
+  (:class:`~repro.functional.Executor`); supports everything.
+* ``"compiled"`` — translates the decoded program into specialized
+  Python (unrolled handlers, locals-bound registers, no per-instruction
+  dispatch), cached by program digest; supports everything.
+* ``"vector"`` — executes N seeds of one Monte-Carlo workload in
+  lockstep on numpy arrays; sink-free, PBS-free, opt-in per workload.
+
+Engines register under :func:`~repro.engines.base.register_engine`,
+mirroring the workload/predictor/executor/analysis registries, and are
+selected through ``Session.engine(name, **options)``,
+``Sweep(engine=...)`` or the CLI ``--engine`` flag.  Every tier is under
+the same bit-identical contract as the interpreter: switching engines
+may never change a result.
+"""
+
+from .base import (
+    ENGINES,
+    Engine,
+    create_engine,
+    default_engine,
+    engine_names,
+    get_engine,
+    list_engines,
+    register_engine,
+    set_default_engine,
+)
+
+# Importing the tier modules runs their @register_engine decorators.
+from . import compiled, interp, vector  # noqa: E402,F401  (import side effect)
+
+__all__ = [
+    "ENGINES",
+    "Engine",
+    "create_engine",
+    "default_engine",
+    "engine_names",
+    "get_engine",
+    "list_engines",
+    "register_engine",
+    "set_default_engine",
+]

@@ -1,0 +1,639 @@
+"""Tier 1: translate a decoded program into specialized Python.
+
+The interpreter pays per *dynamic* instruction for work that only
+depends on the *static* instruction: operand-kind tests, the opcode
+dispatch chain, event-field assembly.  This module pays those costs
+once, at build time, by generating a Python function specialized to one
+program:
+
+* every static instruction becomes straight-line code with its operands
+  (`r5`, literal immediates) inlined — no dispatch, no decode tuples;
+* registers live in Python locals for the whole run and are written
+  back to ``MachineState.regs`` once, in a ``finally``;
+* control flow becomes a ``while True`` dispatch over basic-block
+  labels: fall-through is sequential execution, jumps set the label and
+  ``continue``;
+* instruction retirement is counted per basic block on the sink-free
+  fast path (blocks are straight-line, so the block-granular budget
+  check raises the same ``ExecutionLimitExceeded`` — same message, same
+  ``retired`` — as the interpreter's per-instruction check).
+
+The generated function runs against the same ``MachineState``, drand48
+stream, PBS engine and trace-event protocol as the interpreter, so its
+results are **bit-identical** — the differential property test in
+``tests/test_engines.py`` and the golden corpus hold it to that.
+
+Generated code is memoized in-process by program digest and execution
+variant, and optionally persisted as ``.py`` entries in a
+:class:`CodegenStore` (a :class:`~repro.storage.ShardedStore`) when the
+engine is built with ``cache_dir=``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..functional.executor import (
+    ExecutionError,
+    ExecutionLimitExceeded,
+    Executor,
+    ProbGroup,
+)
+from ..functional.trace import TraceEvent
+from ..isa.opcodes import OP_CLASS, Op
+from ..isa.registers import COND_REG_NUM
+from ..storage import ShardedStore, canonical_digest
+from .base import Engine, register_engine
+
+#: Bumped when generated-code semantics change: old persisted codegen
+#: entries stop matching and are regenerated instead of misbehaving.
+CODEGEN_VERSION = 1
+
+_CMP_SYMBOL = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}
+
+_COND_BRANCH = {Op.BLT, Op.BGE, Op.BEQ, Op.BNE, Op.BLE, Op.BGT, Op.JT, Op.JF}
+#: Ops that end a basic block (control may not fall through untested).
+_TERMINATORS = _COND_BRANCH | {Op.JMP, Op.CALL, Op.RET, Op.HALT}
+
+_COMPARE_OPS = {
+    Op.SLT: "<", Op.SLE: "<=", Op.SEQ: "==", Op.SNE: "!=",
+    Op.FLT: "<", Op.FLE: "<=", Op.FEQ: "==", Op.FNE: "!=",
+}
+_BINARY_OPS = {
+    Op.ADD: "+", Op.FADD: "+", Op.SUB: "-", Op.FSUB: "-",
+    Op.MUL: "*", Op.FMUL: "*", Op.FDIV: "/",
+    Op.AND: "&", Op.OR: "|", Op.XOR: "^", Op.SHL: "<<", Op.SHR: ">>",
+}
+_BRANCH_SYMBOL = {
+    Op.BLT: "<", Op.BGE: ">=", Op.BEQ: "==",
+    Op.BNE: "!=", Op.BLE: "<=", Op.BGT: ">",
+}
+_TRANSCENDENTAL = {
+    Op.FEXP: "_exp", Op.FLOG: "_log", Op.FSIN: "_sin", Op.FCOS: "_cos",
+}
+
+
+def _is_terminator(d: tuple) -> bool:
+    op = d[0]
+    if op in _TERMINATORS:
+        return True
+    return op is Op.PROB_JMP and d[8] is not None  # the jumping PROB_JMP
+
+
+def _block_leaders(decoded: List[tuple]) -> List[int]:
+    """PCs starting a basic block: entry, every jump target, and the
+    instruction after every terminator."""
+    n = len(decoded)
+    leaders: Set[int] = {0}
+    for pc, d in enumerate(decoded):
+        if not _is_terminator(d):
+            continue
+        if pc + 1 < n:
+            leaders.add(pc + 1)
+        target = d[8]
+        if isinstance(target, int) and 0 <= target < n:
+            leaders.add(target)
+    return sorted(leaders)
+
+
+def program_digest(program, decoded: Optional[List[tuple]] = None) -> str:
+    """Content digest of a program's decoded form.
+
+    The name is part of the digest because runtime error messages embed
+    it, so two programs differing only by name generate different code.
+    """
+    if decoded is None:
+        decoded = Executor._decode(program.instructions)
+    return canonical_digest({
+        "version": CODEGEN_VERSION,
+        "name": program.name,
+        "data_size": program.data_size,
+        "instructions": [
+            [d[0].name, d[1], bool(d[2]), d[3], bool(d[4]), d[5],
+             bool(d[6]), d[7], d[8], d[9], d[10], list(d[11])]
+            for d in decoded
+        ],
+    })
+
+
+class _Emitter:
+    """Accumulates indented source lines."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+
+    def put(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _operand(flag, value) -> str:
+    return f"r{value}" if flag else repr(value)
+
+
+def generate_source(
+    program,
+    decoded: List[tuple],
+    *,
+    sink: bool,
+    pbs: bool,
+    record_consumed: bool,
+) -> str:
+    """The specialized ``_compiled_run(self, sink)`` source for one
+    program under one execution variant."""
+    n = len(decoded)
+    leaders = _block_leaders(decoded)
+    leader_set = set(leaders)
+
+    # Registers the program touches become function locals.
+    reg_numbers: Set[int] = set()
+    swap_candidates: Set[int] = set()
+    uses_cond = False
+    for d in decoded:
+        op, dest = d[0], d[1]
+        if dest != -1:
+            reg_numbers.add(dest)
+        for flag, value in ((d[2], d[3]), (d[4], d[5]), (d[6], d[7])):
+            if flag:
+                reg_numbers.add(value)
+        if op in (Op.CMP, Op.JT, Op.JF, Op.PROB_CMP, Op.PROB_JMP):
+            uses_cond = True
+        if op is Op.PROB_CMP:
+            swap_candidates.add(d[3])
+        elif op is Op.PROB_JMP and dest != -1:
+            swap_candidates.add(dest)
+    if uses_cond:
+        reg_numbers.add(COND_REG_NUM)
+    regs_sorted = sorted(reg_numbers)
+
+    out = _Emitter()
+    put = out.put
+    put(0, "def _compiled_run(self, sink):")
+    put(1, "state = self.state")
+    put(1, "regs = state.regs")
+    put(1, "memory = state.memory")
+    put(1, "n_memory = len(memory)")
+    put(1, "call_stack = state.call_stack")
+    put(1, "emit_output = state.emit_output")
+    put(1, "rng = self.rng")
+    put(1, "rng_uniform = rng.uniform")
+    put(1, "rng_normal = rng.normal")
+    put(1, "limit = self.max_instructions")
+    put(1, "consumed_values = self.consumed_values")
+    put(1, "_abs = abs; _min = min; _max = max")
+    put(1, "_float = float; _int = int; _bool = bool; _zip = zip")
+    put(1, "_fexp = _exp; _flog = _log; _fsin = _sin; _fcos = _cos")
+    if pbs:
+        put(1, "pbs = self.pbs")
+        put(1, "pbs_observe = pbs.observe_branch")
+        put(1, "pbs_observe_call = pbs.observe_call")
+        put(1, "pbs_observe_return = pbs.observe_return")
+        put(1, "pbs_transact = pbs.transact")
+    for number in regs_sorted:
+        put(1, f"r{number} = regs[{number}]")
+    put(1, "_pend = None")
+    put(1, "_L = 0")
+    put(1, "retired = 0")
+    put(1, "try:")
+    put(2, "while True:")
+
+    def limit_check(depth: int) -> None:
+        put(depth, "if retired >= limit:")
+        put(depth + 1,
+            'raise _XL(f"{_N}: exceeded {limit} instructions")')
+
+    def fault(depth: int, j: int, message: str) -> None:
+        """Raise ExecutionError mid-block; ``j`` completed instructions
+        retire first on the block-counted fast path."""
+        if not sink and j:
+            put(depth, f"retired += {j}")
+        put(depth, f"raise _XE({message})")
+
+    def emit_event(depth: int, pc: int, d: tuple, extra: str = "",
+                   dest: Optional[int] = None, srcs: Optional[tuple] = None) -> None:
+        if not sink:
+            return
+        dest_code = d[1] if dest is None else dest
+        srcs_code = repr(d[11] if srcs is None else srcs)
+        put(depth,
+            f"sink(_E({pc}, _OPS[{pc}], _CLS[{pc}], {dest_code}, "
+            f"{srcs_code}{extra}))")
+
+    def retire(depth: int, count: int) -> None:
+        put(depth, f"retired += {1 if sink else count}")
+
+    def goto(depth: int, j: int, target: int) -> None:
+        """Transfer control to a static target (already retired)."""
+        if 0 <= target < n:
+            put(depth, f"_L = {target}")
+            put(depth, "continue")
+        else:
+            put(depth, f'raise _XE(_N + ": PC {0} out of range")'.format(target))
+
+    def fall_to(depth: int, j: int, target: int) -> None:
+        """Fall through to the next block (already retired)."""
+        if 0 <= target < n:
+            put(depth, f"_L = {target}")
+        else:
+            put(depth, f'raise _XE(_N + ": PC {0} out of range")'.format(target))
+
+    for block_index, start in enumerate(leaders):
+        end = leaders[block_index + 1] if block_index + 1 < len(leaders) else n
+        block = list(range(start, end))
+        K = len(block)
+        put(3, f"if _L == {start}:")
+        depth = 4
+        if not sink:
+            # Block-granular budget: blocks are straight-line, so this
+            # raises iff the interpreter's per-instruction check would
+            # somewhere inside the block — with identical retired/message.
+            put(depth, f"if retired + {K} > limit:")
+            put(depth + 1, "retired = limit")
+            put(depth + 1,
+                'raise _XL(f"{_N}: exceeded {limit} instructions")')
+
+        for j, pc in enumerate(block):
+            d = decoded[pc]
+            (op, dest, s0r, s0, s1r, s1, s2r, s2,
+             target, offset, cmp_op, trace_srcs) = d
+            A = _operand(s0r, s0)
+            B = _operand(s1r, s1)
+            C = _operand(s2r, s2)
+            D = f"r{dest}"
+            last = j == K - 1
+            if sink:
+                limit_check(depth)
+
+            if op in _BINARY_OPS:
+                put(depth, f"{D} = {A} {_BINARY_OPS[op]} {B}")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op in _COMPARE_OPS:
+                put(depth, f"{D} = 1 if {A} {_COMPARE_OPS[op]} {B} else 0")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.MOV or op is Op.FMOV:
+                put(depth, f"{D} = {A}")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.RAND:
+                put(depth, f"{D} = rng_uniform()")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.RANDN:
+                put(depth, f"{D} = rng_normal()")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.MIN or op is Op.FMIN:
+                put(depth, f"{D} = _min({A}, {B})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.MAX or op is Op.FMAX:
+                put(depth, f"{D} = _max({A}, {B})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.SELECT or op is Op.FSELECT:
+                put(depth, f"{D} = {B} if {A} else {C}")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.DIV or op is Op.MOD:
+                kind = "div" if op is Op.DIV else "mod"
+                put(depth, f"_a = {A}; _b = {B}")
+                put(depth, "if _b == 0:")
+                fault(depth + 1, j,
+                      f'_N + "@{pc}: integer {kind} by 0"')
+                put(depth, "_q = _abs(_a) // _abs(_b)")
+                if op is Op.DIV:
+                    put(depth, f"{D} = -_q if (_a < 0) != (_b < 0) else _q")
+                else:
+                    put(depth, "_q = -_q if (_a < 0) != (_b < 0) else _q")
+                    put(depth, f"{D} = _a - _q * _b")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.FSQRT:
+                put(depth, f"{D} = {A} ** 0.5")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op in _TRANSCENDENTAL:
+                put(depth, f"{D} = {'_f' + _TRANSCENDENTAL[op][1:]}({A})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.FABS:
+                put(depth, f"{D} = _abs({A})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.FNEG:
+                put(depth, f"{D} = -({A})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.ITOF:
+                put(depth, f"{D} = _float({A})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.FTOI:
+                put(depth, f"{D} = _int({A})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.FFLOOR:
+                put(depth, f"{D} = _float(_int({A} // 1))")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.CMP:
+                put(depth,
+                    f"r{COND_REG_NUM} = 1 if {A} {_CMP_SYMBOL[cmp_op]} {B} else 0")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.LOAD or op is Op.FLOAD:
+                put(depth, f"_a = r{s0} + {offset}")
+                put(depth, "if not 0 <= _a < n_memory:")
+                fault(depth + 1, j,
+                      f'_N + "@{pc}: load from " + str(_a) + " out of range"')
+                put(depth, f"{D} = memory[_a]")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}, addr=_a")
+                sink and put(depth, "retired += 1")
+            elif op is Op.STORE or op is Op.FSTORE:
+                put(depth, f"_a = r{s1} + {offset}")
+                put(depth, "if not 0 <= _a < n_memory:")
+                fault(depth + 1, j,
+                      f'_N + "@{pc}: store to " + str(_a) + " out of range"')
+                put(depth, f"memory[_a] = {A}")
+                emit_event(depth, pc, d,
+                           f", next_pc={pc + 1}, addr=_a, is_store=True")
+                sink and put(depth, "retired += 1")
+            elif op is Op.OUT:
+                put(depth, f"emit_output({offset}, {A})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.NOP:
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.PROB_CMP:
+                put(depth, f"_v = r{s0}")
+                put(depth, f"_k = {B}")
+                put(depth, f"_c = _v {_CMP_SYMBOL[cmp_op]} _k")
+                put(depth, f"r{COND_REG_NUM} = 1 if _c else 0")
+                put(depth, f"_pend = ({cmp_op!r}, _c, _k, [{s0}], [_v])")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.PROB_JMP and target is None:
+                # Intermediate PROB_JMP: registers an extra swap value,
+                # does not jump.
+                put(depth, "if _pend is None:")
+                fault(depth + 1, j,
+                      f'_N + "@{pc}: PROB_JMP without PROB_CMP"')
+                if dest != -1:
+                    put(depth, f"_pend[3].append({dest})")
+                    put(depth, f"_pend[4].append(r{dest})")
+                emit_event(depth, pc, d, f", next_pc={pc + 1}")
+                sink and put(depth, "retired += 1")
+            elif op is Op.PROB_JMP:
+                assert last, "jumping PROB_JMP must terminate its block"
+                put(depth, "if _pend is None:")
+                fault(depth + 1, j,
+                      f'_N + "@{pc}: PROB_JMP without PROB_CMP"')
+                put(depth, "_gr = _pend[3]; _gv = _pend[4]")
+                if dest != -1:
+                    put(depth, f"_gr.append({dest})")
+                    put(depth, f"_gv.append(r{dest})")
+                if pbs:
+                    put(depth, f"_dec = pbs_transact(_PG({pc}, _pend[0], "
+                               "_pend[1], _pend[2], _gr, _gv))")
+                    put(depth, "_t = _dec.taken")
+                    put(depth, 'if _dec.mode == "hit":')
+                    if sink:
+                        put(depth + 1, "_pm = 2")
+                    put(depth + 1, "_sv = _dec.swap_values")
+                    put(depth + 1, "for _rn, _ov in _zip(_gr, _sv):")
+                    chain = "if"
+                    for candidate in sorted(swap_candidates):
+                        put(depth + 2, f"{chain} _rn == {candidate}:")
+                        put(depth + 3, f"r{candidate} = _ov")
+                        chain = "elif"
+                    put(depth + 1, f"r{COND_REG_NUM} = 1 if _t else 0")
+                    if record_consumed:
+                        put(depth + 1, "consumed_values.append(_sv[0])")
+                    put(depth, "else:")
+                    if sink:
+                        put(depth + 1, "_pm = 1")
+                    if record_consumed:
+                        put(depth + 1, "consumed_values.append(_gv[0])")
+                    elif not sink:
+                        put(depth + 1, "pass")
+                else:
+                    put(depth, "_t = _pend[1]")
+                    if sink:
+                        put(depth, "_pm = 1")
+                    if record_consumed:
+                        put(depth, "consumed_values.append(_gv[0])")
+                emit_event(
+                    depth, pc, d,
+                    f", is_cond_branch=True, taken=_t, target={target}, "
+                    f"next_pc={target} if _t else {pc + 1}, prob_mode=_pm",
+                )
+                retire(depth, K)
+                put(depth, "_pend = None")
+                put(depth, "if _t:")
+                goto(depth + 1, j, target)
+                fall_to(depth, j, pc + 1)
+            elif op in _BRANCH_SYMBOL or op is Op.JT or op is Op.JF:
+                assert last, "branch must terminate its block"
+                if op is Op.JT:
+                    put(depth, f"_t = _bool(r{COND_REG_NUM})")
+                elif op is Op.JF:
+                    put(depth, f"_t = not r{COND_REG_NUM}")
+                else:
+                    put(depth, f"_t = {A} {_BRANCH_SYMBOL[op]} {B}")
+                if pbs:
+                    put(depth, f"pbs_observe({pc}, _t, {target})")
+                emit_event(
+                    depth, pc, d,
+                    f", is_cond_branch=True, taken=_t, target={target}, "
+                    f"next_pc={target} if _t else {pc + 1}",
+                )
+                retire(depth, K)
+                put(depth, "if _t:")
+                goto(depth + 1, j, target)
+                fall_to(depth, j, pc + 1)
+            elif op is Op.JMP:
+                assert last
+                if pbs:
+                    put(depth, f"pbs_observe({pc}, True, {target})")
+                emit_event(depth, pc, d,
+                           f", target={target}, next_pc={target}")
+                retire(depth, K)
+                goto(depth, j, target)
+            elif op is Op.CALL:
+                assert last
+                put(depth, f"call_stack.append({pc + 1})")
+                if pbs:
+                    put(depth, f"pbs_observe_call({pc})")
+                emit_event(depth, pc, d,
+                           f", target={target}, next_pc={target}")
+                retire(depth, K)
+                goto(depth, j, target)
+            elif op is Op.RET:
+                assert last
+                put(depth, "if not call_stack:")
+                fault(depth + 1, j, f'_N + "@{pc}: RET on empty stack"')
+                put(depth, "_L = call_stack.pop()")
+                if pbs:
+                    put(depth, f"pbs_observe_return({pc})")
+                emit_event(depth, pc, d, ", target=_L, next_pc=_L")
+                retire(depth, K)
+                put(depth, f"if 0 <= _L < {n}:")
+                put(depth + 1, "continue")
+                put(depth, 'raise _XE(f"{_N}: PC {_L} out of range")')
+            elif op is Op.HALT:
+                assert last
+                retire(depth, K)
+                # HALT retires before its event — the interpreter's one
+                # ordering exception.
+                emit_event(depth, pc, d, f", next_pc={pc + 1}",
+                           dest=-1, srcs=())
+                put(depth, "break")
+            else:  # pragma: no cover - all opcodes handled above
+                raise ExecutionError(
+                    f"{program.name}@{pc}: codegen cannot handle {op.name}"
+                )
+
+            if last and not _is_terminator(d):
+                # Fall through into the next leader (a jump target) —
+                # or off the end of the program.
+                if not sink:
+                    put(depth, f"retired += {K}")
+                fall_to(depth, j, pc + 1)
+
+    put(1, "finally:")
+    for number in regs_sorted:
+        put(2, f"regs[{number}] = r{number}")
+    put(2, "self.retired = retired")
+    put(1, "return state")
+    return out.source()
+
+
+class CodegenStore(ShardedStore):
+    """Persistent cache of generated ``.py`` sources, sharded by the
+    (program digest, variant) key digest."""
+
+    suffix = ".py"
+
+
+#: (program digest, variant) -> bound function — shared process-wide so
+#: every engine instance (and every Session in a sweep worker) reuses
+#: one compilation per program.
+_MEMO: Dict[Tuple[str, Tuple[bool, bool, bool]], object] = {}
+
+
+def _bind(source: str, program, decoded: List[tuple]):
+    """Compile generated source and bind its support globals."""
+    namespace = {
+        "_XE": ExecutionError,
+        "_XL": ExecutionLimitExceeded,
+        "_E": TraceEvent,
+        "_PG": ProbGroup,
+        "_N": program.name,
+        "_OPS": tuple(d[0] for d in decoded),
+        "_CLS": tuple(OP_CLASS[d[0]] for d in decoded),
+        "_exp": math.exp,
+        "_log": math.log,
+        "_sin": math.sin,
+        "_cos": math.cos,
+    }
+    exec(compile(source, f"<compiled {program.name}>", "exec"), namespace)
+    return namespace["_compiled_run"]
+
+
+def compiled_function(
+    program,
+    *,
+    sink: bool,
+    pbs: bool,
+    record_consumed: bool,
+    store: Optional[CodegenStore] = None,
+):
+    """The (memoized) compiled function for one program + variant.
+
+    Returns ``(function, cache_hit)`` — ``cache_hit`` is True when no
+    fresh code generation happened (in-process memo or a warm store).
+    """
+    decoded = Executor._decode(program.instructions)
+    digest = program_digest(program, decoded)
+    variant = (bool(sink), bool(pbs), bool(record_consumed))
+    key = (digest, variant)
+    cached = _MEMO.get(key)
+    if cached is not None:
+        return cached, True
+
+    source = None
+    hit = False
+    store_digest = None
+    if store is not None:
+        store_digest = canonical_digest(
+            {"program": digest, "variant": list(variant)}
+        )
+        path = store.path(store_digest)
+        if path.exists():
+            source = path.read_text()
+            hit = True
+    if source is None:
+        source = generate_source(
+            program, decoded,
+            sink=variant[0], pbs=variant[1], record_consumed=variant[2],
+        )
+        if store is not None:
+            store.write_entry(store_digest, source, meta={
+                "program": program.name,
+                "variant": list(variant),
+                "codegen_version": CODEGEN_VERSION,
+            })
+    function = _bind(source, program, decoded)
+    _MEMO[key] = function
+    return function, hit
+
+
+class CompiledExecutor(Executor):
+    """Drop-in :class:`~repro.functional.Executor` that runs generated
+    code instead of the interpreter loop."""
+
+    def __init__(self, program, engine: Optional["CompiledEngine"] = None,
+                 **kwargs):
+        super().__init__(program, **kwargs)
+        self._engine = engine
+
+    def run(self, sink=None):
+        # The execution variant (events? PBS? consumed-value recording?)
+        # is only known here, so compilation is lazy per run.
+        function, cache_hit = compiled_function(
+            self.program,
+            sink=sink is not None,
+            pbs=self.pbs is not None,
+            record_consumed=self.record_consumed,
+            store=self._engine.store if self._engine is not None else None,
+        )
+        if self._engine is not None:
+            self._engine.last_cache_hit = cache_hit
+        return function(self, sink)
+
+
+@register_engine("compiled")
+class CompiledEngine(Engine):
+    """Tier 1: specialized generated Python, cached by program digest.
+
+    Supports every workload and attachment (the generated code speaks
+    the full sink/PBS/consumed-values protocol).  ``cache_dir=`` adds a
+    persistent :class:`CodegenStore` under the in-process memo, so cold
+    processes skip code generation for already-seen programs.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.store = CodegenStore(cache_dir) if cache_dir else None
+        self.last_cache_hit = False
+
+    def executor(self, program, *, seed=0, pbs=None, record_consumed=False):
+        return CompiledExecutor(
+            program, engine=self,
+            seed=seed, pbs=pbs, record_consumed=record_consumed,
+        )

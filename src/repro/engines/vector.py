@@ -1,0 +1,632 @@
+"""Tier 2: lockstep Monte-Carlo execution on numpy arrays.
+
+A Monte-Carlo sweep column varies only the seed: every lane runs the
+*same* program against an independent drand48 stream.  This tier runs N
+such lanes at once — one numpy array per architectural register and a
+vectorized 48-bit LCG for ``RAND`` — so the per-instruction Python
+overhead is paid once per *column* instead of once per lane.
+
+Execution has two modes:
+
+* **uniform** — all lanes are alive at one PC (the overwhelmingly
+  common case for seed columns).  Each static instruction was
+  pre-compiled into a closure doing whole-array, in-place ufunc calls:
+  no boolean masks, no dispatch chain.
+* **masked** — lanes diverged at a data-dependent branch (e.g. the
+  probabilistic hit/miss arms).  A min-PC reconvergence interpreter
+  steps the laggard lanes under a boolean mask until they rejoin, then
+  execution pops back to uniform mode.
+
+Bit-identity is non-negotiable, so the tier is deliberately narrow:
+
+* float arithmetic (``+ - * /``) is IEEE-754 double math in numpy,
+  identical to CPython's — vectorized;
+* the drand48 update runs in ``uint64`` (exact mod-2**48 arithmetic)
+  and the ``state / 2**48`` conversion is an exact power-of-two scale;
+* transcendentals (``FEXP``/``FLOG``/``FSIN``/``FCOS``), ``FSQRT`` and
+  ``FFLOOR`` go through the same scalar ``math``/``float`` operations
+  as the interpreter, lane by lane — libm vectorization is *not*
+  guaranteed to round identically, so we don't use it;
+* programs touching memory, the call stack, Box-Muller normals
+  (lane-crossing cache), or MIN/MAX (NaN-tie semantics differ) are
+  ineligible, as is any run attaching a PBS engine, a trace sink, or
+  consumed-value recording.
+
+Integer registers are ``int64`` (the interpreter's are arbitrary
+precision); eligible workloads opt in with ``vectorizable = True`` and
+by doing so declare their integer state stays in range.
+
+numpy itself is optional: without it :meth:`VectorEngine.supports`
+answers False and callers fall back to ``"interp"``.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import List, Optional, Tuple
+
+from ..functional.executor import (
+    ExecutionError,
+    ExecutionLimitExceeded,
+    Executor,
+)
+from ..functional.rng import _A, _C, _MASK, _TWO48
+from ..functional.state import MachineState
+from ..isa.opcodes import Op
+from ..isa.registers import COND_REG_NUM, FLOAT_BASE, NUM_REGS
+from .base import Engine, register_engine
+
+_UNSET = object()
+_NP = _UNSET
+
+
+def _numpy():
+    """numpy, imported lazily — or ``None`` when unavailable."""
+    global _NP
+    if _NP is _UNSET:
+        try:
+            import numpy
+            _NP = numpy
+        except ImportError:  # pragma: no cover - exercised in CI only
+            _NP = None
+    return _NP
+
+
+_CMP_FN = {
+    "lt": operator.lt, "le": operator.le, "gt": operator.gt,
+    "ge": operator.ge, "eq": operator.eq, "ne": operator.ne,
+}
+_BRANCH_FN = {
+    Op.BLT: operator.lt, Op.BGE: operator.ge, Op.BEQ: operator.eq,
+    Op.BNE: operator.ne, Op.BLE: operator.le, Op.BGT: operator.gt,
+}
+_BINARY_FN = {
+    Op.ADD: operator.add, Op.FADD: operator.add,
+    Op.SUB: operator.sub, Op.FSUB: operator.sub,
+    Op.MUL: operator.mul, Op.FMUL: operator.mul,
+    Op.FDIV: operator.truediv,
+    Op.AND: operator.and_, Op.OR: operator.or_, Op.XOR: operator.xor,
+    Op.SHL: operator.lshift, Op.SHR: operator.rshift,
+}
+_COMPARE_FN = {
+    Op.SLT: operator.lt, Op.SLE: operator.le,
+    Op.SEQ: operator.eq, Op.SNE: operator.ne,
+    Op.FLT: operator.lt, Op.FLE: operator.le,
+    Op.FEQ: operator.eq, Op.FNE: operator.ne,
+}
+_SCALAR_MATH = {
+    Op.FEXP: math.exp, Op.FLOG: math.log,
+    Op.FSIN: math.sin, Op.FCOS: math.cos,
+    Op.FSQRT: lambda v: v ** 0.5,
+    Op.FFLOOR: lambda v: float(int(v // 1)),
+}
+
+_SUPPORTED = (
+    set(_BINARY_FN) | set(_COMPARE_FN) | set(_BRANCH_FN) | set(_SCALAR_MATH) | {
+        Op.MOV, Op.FMOV, Op.DIV, Op.MOD, Op.CMP,
+        Op.SELECT, Op.FSELECT, Op.FABS, Op.FNEG, Op.ITOF, Op.FTOI,
+        Op.RAND, Op.OUT, Op.NOP, Op.HALT,
+        Op.JT, Op.JF, Op.JMP, Op.PROB_CMP, Op.PROB_JMP,
+    }
+)
+
+#: Uniform-mode step results besides "next pc": all lanes halted /
+#: lanes diverged (the closure has already written the ``pc`` array).
+_HALTED = -1
+_DIVERGED = None
+
+
+def ineligible_ops(decoded: List[tuple]) -> List[str]:
+    """Opcode names in ``decoded`` outside the vector tier's envelope."""
+    return sorted({d[0].name for d in decoded if d[0] not in _SUPPORTED})
+
+
+def vector_eligible(program) -> bool:
+    """True when every instruction of ``program`` is vectorizable."""
+    return not ineligible_ops(Executor._decode(program.instructions))
+
+
+class _Lanes:
+    """Shared per-column state threaded through both execution modes."""
+
+    def __init__(self, np, program, seeds):
+        lanes = len(seeds)
+        int64, float64 = np.int64, np.float64
+        self.np = np
+        self.name = program.name
+        self.count = lanes
+        # srand48 seeding, one 48-bit state per lane.
+        self.rng = np.array(
+            [(((seed & 0xFFFFFFFF) << 16) | 0x330E) & _MASK
+             for seed in seeds],
+            dtype=np.uint64,
+        )
+        self.regs = [
+            np.zeros(lanes, dtype=int64 if n < FLOAT_BASE else float64)
+            for n in range(COND_REG_NUM)
+        ]
+        self.regs.append(np.zeros(lanes, dtype=int64))  # COND
+        self.pc = np.zeros(lanes, dtype=int64)
+        self.active = np.ones(lanes, dtype=bool)
+        self.retired = np.zeros(lanes, dtype=int64)
+        self.pend_valid = np.zeros(lanes, dtype=bool)
+        self.pend_cond = np.zeros(lanes, dtype=bool)
+        self.outputs: List[dict] = [{} for _ in range(lanes)]
+
+
+def _compile_uniform(np, decoded, lanes: "_Lanes"):
+    """One whole-array closure per static instruction.
+
+    Each closure executes its instruction for *all* lanes (legal only
+    while every lane is alive at this PC) and returns the uniform next
+    PC, ``_HALTED``, or ``_DIVERGED`` after scattering ``lanes.pc``.
+    """
+    regs = lanes.regs
+    pc_array = lanes.pc
+    rng = lanes.rng
+    pend_valid = lanes.pend_valid
+    pend_cond = lanes.pend_cond
+    outputs = lanes.outputs
+    cond_reg = regs[COND_REG_NUM]
+    name = lanes.name
+    count = lanes.count
+    count_nonzero = np.count_nonzero
+    where = np.where
+    lcg_a = np.uint64(_A)
+    lcg_c = np.uint64(_C)
+    lcg_mask = np.uint64(_MASK)
+
+    _UFUNC = {
+        Op.ADD: np.add, Op.FADD: np.add,
+        Op.SUB: np.subtract, Op.FSUB: np.subtract,
+        Op.MUL: np.multiply, Op.FMUL: np.multiply,
+        Op.FDIV: np.divide,
+        Op.AND: np.bitwise_and, Op.OR: np.bitwise_or,
+        Op.XOR: np.bitwise_xor,
+        Op.SHL: np.left_shift, Op.SHR: np.right_shift,
+    }
+
+    def _predicable(nextp, target):
+        """Divergence over a short forward straight-line region can be
+        predicated: run the fall-through lanes masked through
+        [nextp, target) and rejoin uniform execution at ``target``."""
+        if not isinstance(target, int) or not nextp < target <= nextp + 8:
+            return False
+        if target > len(decoded):
+            return False
+        for q in range(nextp, target):
+            op_q, _, _, _, _, _, _, _, target_q, _, _, _ = decoded[q]
+            if op_q not in _SUPPORTED:
+                return False
+            if op_q in _BRANCH_FN or op_q in (
+                Op.JT, Op.JF, Op.JMP, Op.HALT
+            ):
+                return False
+            if op_q is Op.PROB_JMP and target_q is not None:
+                return False
+        return True
+
+    def branch_step(taken, target, nextp, predicable):
+        hits = int(count_nonzero(taken))
+        if hits == count:
+            return target
+        if hits == 0:
+            return nextp
+        if predicable:
+            return (taken, nextp, target)
+        pc_array[:] = where(taken, target, nextp)
+        return _DIVERGED
+
+    steps = []
+    for p, d in enumerate(decoded):
+        (op, dest, s0r, s0, s1r, s1, s2r, s2,
+         target, offset, cmp_op, _srcs) = d
+        nextp = p + 1
+        a = regs[s0] if s0r else s0
+        b = regs[s1] if s1r else s1
+        c = regs[s2] if s2r else s2
+        d_arr = regs[dest] if dest != -1 else None
+
+        if op in _UFUNC:
+            def step(fn=_UFUNC[op], a=a, b=b, d_arr=d_arr, nextp=nextp):
+                fn(a, b, out=d_arr)
+                return nextp
+        elif op in _COMPARE_FN:
+            def step(fn=_COMPARE_FN[op], a=a, b=b, d_arr=d_arr, nextp=nextp):
+                d_arr[:] = fn(a, b)
+                return nextp
+        elif op is Op.MOV or op is Op.FMOV:
+            if s0r:
+                def step(a=a, d_arr=d_arr, nextp=nextp, copyto=np.copyto):
+                    copyto(d_arr, a)
+                    return nextp
+            else:
+                def step(value=s0, d_arr=d_arr, nextp=nextp):
+                    d_arr.fill(value)
+                    return nextp
+        elif op is Op.RAND:
+            def step(d_arr=d_arr, nextp=nextp, rng=rng, np=np,
+                     lcg_a=lcg_a, lcg_c=lcg_c, lcg_mask=lcg_mask):
+                np.multiply(rng, lcg_a, out=rng)
+                np.add(rng, lcg_c, out=rng)
+                np.bitwise_and(rng, lcg_mask, out=rng)
+                np.divide(rng, _TWO48, out=d_arr)
+                return nextp
+        elif op in _SCALAR_MATH:
+            if s0r:
+                def step(fn=_SCALAR_MATH[op], a=a, d_arr=d_arr, nextp=nextp):
+                    # Lane-by-lane through the interpreter's exact
+                    # scalar path; .tolist() round-trips the doubles
+                    # bit-for-bit.
+                    d_arr[:] = [fn(v) for v in a.tolist()]
+                    return nextp
+            else:
+                def step(value=_SCALAR_MATH[op](s0), d_arr=d_arr,
+                         nextp=nextp):
+                    d_arr.fill(value)
+                    return nextp
+        elif op is Op.FABS:
+            def step(a=a, d_arr=d_arr, nextp=nextp, np=np):
+                np.abs(a, out=d_arr)
+                return nextp
+        elif op is Op.FNEG:
+            def step(a=a, d_arr=d_arr, nextp=nextp, np=np):
+                np.negative(a, out=d_arr)
+                return nextp
+        elif op is Op.ITOF:
+            def step(a=a, d_arr=d_arr, nextp=nextp):
+                d_arr[:] = a  # int64 -> float64 cast, exact below 2**53
+                return nextp
+        elif op is Op.FTOI:
+            def step(a=a, d_arr=d_arr, nextp=nextp, int64=np.int64):
+                # astype truncates toward zero, like int().
+                d_arr[:] = a.astype(int64) if hasattr(a, "astype") else int(a)
+                return nextp
+        elif op is Op.DIV or op is Op.MOD:
+            def step(a=a, b=b, d_arr=d_arr, nextp=nextp, np=np, p=p,
+                     is_div=op is Op.DIV):
+                if np.any(np.asarray(b) == 0):
+                    kind = "div" if is_div else "mod"
+                    raise ExecutionError(
+                        f"{name}@{p}: integer {kind} by 0"
+                    )
+                quotient = np.abs(a) // np.abs(b)
+                quotient = np.where(
+                    (np.asarray(a) < 0) != (np.asarray(b) < 0),
+                    -quotient, quotient,
+                )
+                d_arr[:] = quotient if is_div else a - quotient * b
+                return nextp
+        elif op is Op.CMP:
+            def step(fn=_CMP_FN[cmp_op], a=a, b=b, nextp=nextp,
+                     cond_reg=cond_reg):
+                cond_reg[:] = fn(a, b)
+                return nextp
+        elif op is Op.SELECT or op is Op.FSELECT:
+            def step(a=a, b=b, c=c, d_arr=d_arr, nextp=nextp, np=np):
+                d_arr[:] = np.where(np.asarray(a) != 0, b, c)
+                return nextp
+        elif op is Op.OUT:
+            def step(a=a, nextp=nextp, channel=offset, is_reg=s0r):
+                values = a.tolist() if is_reg else [a] * count
+                for lane_outputs, value in zip(outputs, values):
+                    lane_outputs.setdefault(channel, []).append(value)
+                return nextp
+        elif op is Op.NOP:
+            def step(nextp=nextp):
+                return nextp
+        elif op in _BRANCH_FN:
+            def step(fn=_BRANCH_FN[op], a=a, b=b, target=target,
+                     nextp=nextp, predicable=_predicable(nextp, target)):
+                return branch_step(fn(a, b), target, nextp, predicable)
+        elif op is Op.JT or op is Op.JF:
+            def step(target=target, nextp=nextp, invert=op is Op.JF,
+                     cond_reg=cond_reg,
+                     predicable=_predicable(nextp, target)):
+                taken = cond_reg != 0
+                if invert:
+                    taken = ~taken
+                return branch_step(taken, target, nextp, predicable)
+        elif op is Op.JMP:
+            def step(target=target):
+                return target
+        elif op is Op.PROB_CMP:
+            def step(fn=_CMP_FN[cmp_op], a=regs[s0], b=b, nextp=nextp,
+                     cond_reg=cond_reg):
+                condition = fn(a, b)
+                cond_reg[:] = condition
+                pend_cond[:] = condition
+                pend_valid.fill(True)
+                return nextp
+        elif op is Op.PROB_JMP:
+            if target is None:
+                def step(nextp=nextp, p=p):
+                    if not pend_valid.all():
+                        raise ExecutionError(
+                            f"{name}@{p}: PROB_JMP without PROB_CMP"
+                        )
+                    return nextp
+            else:
+                def step(target=target, nextp=nextp, p=p,
+                         predicable=_predicable(nextp, target)):
+                    if not pend_valid.all():
+                        raise ExecutionError(
+                            f"{name}@{p}: PROB_JMP without PROB_CMP"
+                        )
+                    pend_valid.fill(False)
+                    # No PBS engine attached: the group resolves
+                    # "regular" and follows the PROB_CMP condition.
+                    return branch_step(pend_cond, target, nextp, predicable)
+        elif op is Op.HALT:
+            def step():
+                return _HALTED
+        else:  # pragma: no cover - filtered by ineligible_ops
+            raise ExecutionError(
+                f"{name}@{p}: vector engine cannot execute {op.name}"
+            )
+        steps.append(step)
+    return steps
+
+
+def _step_masked(np, decoded, lanes: "_Lanes", p: int, mask) -> None:
+    """Execute instruction ``p`` for the ``mask`` subset of lanes."""
+    regs = lanes.regs
+    (op, dest, s0r, s0, s1r, s1, s2r, s2,
+     target, offset, cmp_op, _srcs) = decoded[p]
+    int64 = np.int64
+
+    def val(flag, value):
+        return regs[value][mask] if flag else value
+
+    lanes.pc[mask] = p + 1  # branches overwrite below
+
+    if op in _BINARY_FN:
+        regs[dest][mask] = _BINARY_FN[op](val(s0r, s0), val(s1r, s1))
+    elif op in _COMPARE_FN:
+        regs[dest][mask] = _COMPARE_FN[op](
+            val(s0r, s0), val(s1r, s1)
+        ).astype(int64)
+    elif op is Op.MOV or op is Op.FMOV:
+        regs[dest][mask] = val(s0r, s0)
+    elif op is Op.RAND:
+        state = (
+            np.uint64(_A) * lanes.rng[mask] + np.uint64(_C)
+        ) & np.uint64(_MASK)
+        lanes.rng[mask] = state
+        regs[dest][mask] = state.astype(np.float64) / _TWO48
+    elif op in _SCALAR_MATH:
+        fn = _SCALAR_MATH[op]
+        source = val(s0r, s0)
+        values = source.tolist() if s0r else [source] * int(mask.sum())
+        regs[dest][mask] = np.array(
+            [fn(v) for v in values], dtype=np.float64
+        )
+    elif op is Op.FABS:
+        regs[dest][mask] = np.abs(val(s0r, s0))
+    elif op is Op.FNEG:
+        source = val(s0r, s0)
+        regs[dest][mask] = -source if s0r else -float(source)
+    elif op is Op.ITOF:
+        source = val(s0r, s0)
+        regs[dest][mask] = (
+            source.astype(np.float64) if s0r else float(source)
+        )
+    elif op is Op.FTOI:
+        source = val(s0r, s0)
+        # astype truncates toward zero, like the interpreter's int().
+        regs[dest][mask] = source.astype(int64) if s0r else int(source)
+    elif op is Op.DIV or op is Op.MOD:
+        kind = "div" if op is Op.DIV else "mod"
+        a = val(s0r, s0)
+        b = val(s1r, s1)
+        if np.any(np.asarray(b) == 0):
+            raise ExecutionError(f"{lanes.name}@{p}: integer {kind} by 0")
+        quotient = np.abs(a) // np.abs(b)
+        quotient = np.where(
+            (np.asarray(a) < 0) != (np.asarray(b) < 0), -quotient, quotient
+        )
+        regs[dest][mask] = quotient if op is Op.DIV else a - quotient * b
+    elif op is Op.CMP:
+        regs[COND_REG_NUM][mask] = _CMP_FN[cmp_op](
+            val(s0r, s0), val(s1r, s1)
+        ).astype(int64)
+    elif op is Op.SELECT or op is Op.FSELECT:
+        condition = np.asarray(val(s0r, s0)) != 0
+        regs[dest][mask] = np.where(condition, val(s1r, s1), val(s2r, s2))
+    elif op is Op.OUT:
+        source = val(s0r, s0)
+        values = source.tolist() if s0r else [source] * int(mask.sum())
+        for lane, value in zip(np.nonzero(mask)[0].tolist(), values):
+            lanes.outputs[lane].setdefault(offset, []).append(value)
+    elif op is Op.NOP:
+        pass
+    elif op in _BRANCH_FN:
+        taken = _BRANCH_FN[op](val(s0r, s0), val(s1r, s1))
+        lanes.pc[mask] = np.where(taken, target, p + 1)
+    elif op is Op.JT or op is Op.JF:
+        cond = regs[COND_REG_NUM][mask] != 0
+        taken = cond if op is Op.JT else ~cond
+        lanes.pc[mask] = np.where(taken, target, p + 1)
+    elif op is Op.JMP:
+        lanes.pc[mask] = target
+    elif op is Op.PROB_CMP:
+        condition = _CMP_FN[cmp_op](regs[s0][mask], val(s1r, s1))
+        regs[COND_REG_NUM][mask] = condition.astype(int64)
+        lanes.pend_cond[mask] = condition
+        lanes.pend_valid[mask] = True
+    elif op is Op.PROB_JMP:
+        if not lanes.pend_valid[mask].all():
+            raise ExecutionError(
+                f"{lanes.name}@{p}: PROB_JMP without PROB_CMP"
+            )
+        if target is not None:
+            # No PBS engine: the group resolves "regular" and follows
+            # the PROB_CMP condition.
+            lanes.pc[mask] = np.where(lanes.pend_cond[mask], target, p + 1)
+            lanes.pend_valid[mask] = False
+    elif op is Op.HALT:
+        lanes.active[mask] = False
+    else:  # pragma: no cover - filtered by ineligible_ops
+        raise ExecutionError(
+            f"{lanes.name}@{p}: vector engine cannot execute {op.name}"
+        )
+    lanes.retired[mask] += 1
+
+
+def execute_lanes(
+    program,
+    seeds: List[int],
+    max_instructions: int = 50_000_000,
+) -> Tuple[List[MachineState], List[int]]:
+    """Run ``program`` once per seed, in lockstep.
+
+    Returns per-lane ``(MachineState, retired)`` lists whose contents
+    are bit-identical to N independent interpreter runs (an equivalence
+    enforced by tests/test_engines.py against every vectorizable
+    workload).
+    """
+    np = _numpy()
+    if np is None:
+        raise ExecutionError("vector engine requires numpy")
+    decoded = Executor._decode(program.instructions)
+    bad = ineligible_ops(decoded)
+    if bad:
+        raise ExecutionError(
+            f"{program.name}: vector engine cannot execute {', '.join(bad)}"
+        )
+    n = len(decoded)
+    lanes = _Lanes(np, program, seeds)
+    steps = _compile_uniform(np, decoded, lanes)
+
+    uniform = True
+    p = 0
+    pending = 0  # uniform-mode retirements not yet flushed to the array
+    limit_base = 0
+
+    while True:
+        if uniform:
+            if not 0 <= p < n:
+                raise ExecutionError(f"{program.name}: PC {p} out of range")
+            if limit_base + pending >= max_instructions:
+                lanes.retired += pending
+                raise ExecutionLimitExceeded(
+                    f"{program.name}: exceeded {max_instructions} "
+                    "instructions"
+                )
+            result = steps[p]()
+            pending += 1
+            if type(result) is int:
+                if result == _HALTED:
+                    lanes.retired += pending
+                    lanes.active[:] = False
+                    break
+                p = result
+            elif result is _DIVERGED:
+                lanes.retired += pending
+                pending = 0
+                uniform = False
+            else:
+                # Predicated short region: the fall-through lanes run
+                # [nextp, target) masked, then everyone rejoins at
+                # target without leaving uniform mode.
+                taken, nextp, join = result
+                lanes.retired += pending
+                pending = 0
+                if limit_base + (join - nextp) >= max_instructions:
+                    # Too close to the budget for the coarse path; let
+                    # the masked scheduler do exact per-lane checks.
+                    lanes.pc[:] = np.where(taken, join, nextp)
+                    uniform = False
+                    continue
+                mask = ~taken
+                for q in range(nextp, join):
+                    _step_masked(np, decoded, lanes, q, mask)
+                limit_base = int(lanes.retired.max())
+                p = join
+        else:
+            active = lanes.active
+            if not active.any():
+                break
+            # Min-PC reconvergence: step the lanes furthest behind so
+            # diverged lanes rejoin at the merge point.
+            p = int(lanes.pc[active].min())
+            if not 0 <= p < n:
+                raise ExecutionError(f"{program.name}: PC {p} out of range")
+            mask = active & (lanes.pc == p)
+            if (lanes.retired[mask] >= max_instructions).any():
+                raise ExecutionLimitExceeded(
+                    f"{program.name}: exceeded {max_instructions} "
+                    "instructions"
+                )
+            _step_masked(np, decoded, lanes, p, mask)
+            if lanes.active.all() and bool(
+                (lanes.pc == lanes.pc[0]).all()
+            ):
+                uniform = True
+                p = int(lanes.pc[0])
+                limit_base = int(lanes.retired.max())
+                pending = 0
+
+    states = []
+    for lane in range(lanes.count):
+        state = MachineState(program.data_size)
+        for number in range(NUM_REGS):
+            state.regs[number] = lanes.regs[number][lane].item()
+        state.outputs = lanes.outputs[lane]
+        states.append(state)
+    return states, [int(count) for count in lanes.retired]
+
+
+class VectorExecutor:
+    """Single-lane adapter so ``Session ... --engine vector`` runs
+    through the same lockstep core as sweep columns."""
+
+    def __init__(self, program, seed: int = 0,
+                 max_instructions: int = 50_000_000):
+        self.program = program
+        self.seed = seed
+        self.max_instructions = max_instructions
+        self.state = MachineState(program.data_size)
+        self.retired = 0
+        self.consumed_values: Optional[list] = None
+
+    def run(self, sink=None) -> MachineState:
+        if sink is not None:
+            raise ExecutionError(
+                f"{self.program.name}: vector engine does not emit traces"
+            )
+        states, retired = execute_lanes(
+            self.program, [self.seed],
+            max_instructions=self.max_instructions,
+        )
+        self.state = states[0]
+        self.retired = retired[0]
+        return self.state
+
+
+@register_engine("vector")
+class VectorEngine(Engine):
+    """Tier 2: numpy lockstep execution of seed columns.
+
+    ``supports`` is the narrowest of the tiers: base mode only (no PBS,
+    no sink, no consumed-value recording), numpy present, and the
+    workload opted in with ``vectorizable = True``.
+    """
+
+    def supports(self, workload, *, pbs=False, sink=False,
+                 record_consumed=False):
+        if pbs or sink or record_consumed:
+            return False
+        if _numpy() is None:
+            return False
+        return bool(getattr(workload, "vectorizable", False))
+
+    def executor(self, program, *, seed=0, pbs=None, record_consumed=False):
+        self.last_cache_hit = False
+        if pbs is not None or record_consumed:
+            raise ExecutionError(
+                f"{program.name}: vector engine supports neither PBS nor "
+                "consumed-value recording"
+            )
+        return VectorExecutor(program, seed=seed)

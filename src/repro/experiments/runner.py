@@ -25,8 +25,10 @@ from ..sim import (
     DEFAULT_SCALE,
     DEFAULT_SEED,
     Sweep,
+    engine_names,
     executor_names,
     predictor_names,
+    set_default_engine,
     workload_names,
 )
 from . import (
@@ -119,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit results as JSON instead of rendered tables",
     )
+    run_parser.add_argument(
+        "--engine", choices=engine_names(), default=None,
+        help=(
+            "execution tier for every simulation in the experiment "
+            "(default: the plain interpreter path); tiers change speed, "
+            "never results"
+        ),
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run a raw parameter grid through repro.sim.Sweep"
@@ -199,12 +209,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json", type=str, default=None, metavar="PATH",
         help=(
             "write a machine-readable run summary (specs, simulated, "
-            "cache_hits, wall_time, executor) to PATH; '-' for stdout"
+            "cache_hits, wall_time, executor, engine_used, "
+            "compiled_hits, vectorized) to PATH; '-' for stdout"
         ),
     )
     sweep_parser.add_argument(
         "--json", action="store_true",
         help="emit every RunResult as a JSON array",
+    )
+    sweep_parser.add_argument(
+        "--engine", choices=engine_names(), default=None,
+        help=(
+            "execution tier for simulated grid points (default: the "
+            "plain interpreter path); 'vector' additionally runs "
+            "seed-only columns in numpy lockstep; tiers change speed, "
+            "never results"
+        ),
     )
 
     list_parser = subparsers.add_parser(
@@ -213,7 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "what",
         nargs="?",
-        choices=["workloads", "predictors", "experiments", "analyses", "all"],
+        choices=["workloads", "predictors", "experiments", "analyses",
+                 "engines", "all"],
         default="all",
     )
 
@@ -319,6 +340,11 @@ def _invoke(module, key, args):
 
 
 def _cmd_run(args) -> int:
+    if args.engine:
+        # Experiments build their own Sessions/Sweeps; the process-wide
+        # default engine reaches all of them (workers re-resolve it from
+        # the specs they receive, so remote backends stay unaffected).
+        set_default_engine(args.engine)
     selected = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
@@ -354,6 +380,7 @@ def _cmd_sweep(args) -> int:
         cache_dir=args.cache_dir or None,
         trace_dir=args.trace_store or None,
         split_predictors=args.split_predictors,
+        engine=args.engine,
     )
     on_result = None
     if args.progress:
@@ -447,9 +474,17 @@ def _cmd_sweep(args) -> int:
             f" ({results.trace_captures} interpreted, "
             f"{results.trace_hits} replayed)"
         )
+    engine_note = ""
+    if results.engine_used:
+        tiers = ", ".join(
+            f"{count} {name}"
+            for name, count in sorted(results.engine_used.items())
+        )
+        engine_note = f", tiers: {tiers}"
     print(
         f"[{len(results)} runs: {results.simulated} simulated{trace_note}, "
-        f"{results.cache_hits} from cache, {results.wall_time:.1f}s]",
+        f"{results.cache_hits} from cache{engine_note}, "
+        f"{results.wall_time:.1f}s]",
         file=sys.stderr,
     )
     return 0
@@ -667,6 +702,8 @@ def _cmd_list(args) -> int:
         from ..analysis import analysis_names
 
         sections.append(("analyses", analysis_names()))
+    if args.what in ("engines", "all"):
+        sections.append(("engines", engine_names()))
     for title, names in sections:
         print(f"{title}:")
         for name in names:

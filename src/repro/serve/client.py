@@ -244,6 +244,10 @@ class HttpExecutor(Executor):
                 continue
             result = RunResult.from_dict(entry["result"])
             result.cached = bool(entry.get("cached"))
+            engine = entry.get("engine")
+            if engine:
+                result.engine_used = str(engine)
+                result.compiled_hit = bool(entry.get("engine_hit"))
             origin = entry.get("trace")
             if origin in ("capture", "replay"):
                 result.trace_origin = origin

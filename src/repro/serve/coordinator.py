@@ -596,11 +596,14 @@ class Coordinator:
                 self._log(f"cache write failed for {task.digest[:12]}: {exc}")
             else:
                 self._enforce_cache_budget(task.digest)
-        self._finish_task(task, result_dict, cached, message.get("trace"))
+        self._finish_task(task, result_dict, cached, message.get("trace"),
+                          engine=message.get("engine"),
+                          engine_hit=bool(message.get("engine_hit")))
         self._dispatch()
 
     def _finish_task(self, task: _Task, result_dict: Dict,
-                     cached: bool, trace) -> None:
+                     cached: bool, trace, engine=None,
+                     engine_hit: bool = False) -> None:
         task.done = True
         self._active.pop(task.digest, None)
         if cached:
@@ -616,6 +619,9 @@ class Coordinator:
             entry = {"index": index, "result": result_dict, "cached": cached}
             if trace in ("capture", "replay"):
                 entry["trace"] = trace
+            if engine:
+                entry["engine"] = engine
+                entry["engine_hit"] = engine_hit
             job.deliver(entry)
 
     def _worker_error(self, link: _WorkerLink, message: Dict) -> None:

@@ -60,6 +60,32 @@ from .results import CoreMetrics, PBSMetrics, PredictorMetrics, RunResult
 from .session import DEFAULT_SCALE, DEFAULT_SEED, FanOut, Session
 from .sweep import MODES, RunSpec, Sweep, SweepResult
 
+# Execution tiers (interp / compiled / vector) re-exported lazily:
+# repro.engines itself imports this package for the shared Registry
+# helper, so an eager import here would be circular whenever
+# ``repro.engines`` is imported first.  PEP 562 resolves the names on
+# first access, by which point both packages are fully initialized —
+# and importing repro.engines registers the built-in tiers, mirroring
+# the executor registry above.
+_ENGINE_EXPORTS = (
+    "ENGINES",
+    "Engine",
+    "create_engine",
+    "default_engine",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "set_default_engine",
+)
+
+
+def __getattr__(name):
+    if name in _ENGINE_EXPORTS:
+        from .. import engines
+
+        return getattr(engines, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 # Imported last: repro.serve.client needs .executors and .results, both
 # already bound above, and registers the "http" executor as a side effect.
 from ..serve.client import (  # noqa: E402
@@ -116,4 +142,12 @@ __all__ = [
     "RunSpec",
     "Sweep",
     "SweepResult",
+    "ENGINES",
+    "Engine",
+    "create_engine",
+    "default_engine",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "set_default_engine",
 ]

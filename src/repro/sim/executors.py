@@ -35,8 +35,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Type, Union
+from typing import Callable, List, Optional, Sequence, Type, Union
 
+from .registry import Registry, validate_options
 from .results import RunResult
 
 #: ``on_result(index, spec, result)`` — fired once per completed spec.
@@ -92,15 +93,19 @@ class Executor:
 
 
 #: name -> Executor subclass (see :func:`register_executor`).
-EXECUTORS: Dict[str, Type[Executor]] = {}
+EXECUTORS = Registry("executor", catalog="registered backends")
 
 
-def register_executor(name: str):
-    """Class decorator registering an :class:`Executor` under ``name``."""
+def register_executor(name: str, *, replace: bool = False):
+    """Class decorator registering an :class:`Executor` under ``name``.
+
+    Duplicate names raise ``ValueError``; pass ``replace=True`` to
+    deliberately override a built-in backend.
+    """
 
     def decorator(cls: Type[Executor]) -> Type[Executor]:
         cls.name = name
-        EXECUTORS[name] = cls
+        EXECUTORS.register(name, cls, replace=replace)
         return cls
 
     return decorator
@@ -109,6 +114,16 @@ def register_executor(name: str):
 def executor_names() -> List[str]:
     """Registered backend names, in registration order."""
     return list(EXECUTORS)
+
+
+def get_executor(name: str) -> Type[Executor]:
+    """The registered :class:`Executor` subclass for ``name``."""
+    return EXECUTORS.get(name)
+
+
+def list_executors() -> List[str]:
+    """Uniform ``list_*`` alias for :func:`executor_names`."""
+    return executor_names()
 
 
 def create_executor(
@@ -124,19 +139,15 @@ def create_executor(
     :class:`Executor` instance passes through untouched (the caller
     keeps ownership and must ``close()`` it).  Extra keyword ``options``
     are forwarded to the backend constructor (e.g. ``workers=[...]`` for
-    the ``remote`` backend).
+    the ``remote`` backend); options the backend does not accept raise
+    ``TypeError`` naming the valid ones.
     """
     if isinstance(executor, Executor):
         return executor
     if executor is None:
         executor = "process"
-    try:
-        cls = EXECUTORS[executor]
-    except KeyError:
-        known = ", ".join(sorted(EXECUTORS))
-        raise KeyError(
-            f"unknown executor {executor!r}; registered backends: {known}"
-        ) from None
+    cls = EXECUTORS.get(executor)
+    validate_options("executor", executor, cls, options, reserved=("processes",))
     return cls(processes=processes, **options)
 
 

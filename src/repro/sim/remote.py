@@ -46,7 +46,9 @@ Message frames
                       lack it
 ``result``            ``{"id": n, "result": RunResult.to_dict(),
                       "cached": bool}`` plus ``"trace"``:
-                      ``"capture"``/``"replay"``/absent
+                      ``"capture"``/``"replay"``/absent, and
+                      ``"engine"``/``"engine_hit"``: which execution
+                      tier ran the spec (absent for the legacy path)
 ``trace_want``        worker -> client: ``{"id": n, "digest": d}`` — the
                       worker parks the spec and asks for the offered
                       trace before running it
@@ -441,6 +443,8 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                     "type": "result", "id": run_id,
                     "result": result.to_dict(), "cached": False,
                     "trace": result.trace_origin,
+                    "engine": result.engine_used,
+                    "engine_hit": result.compiled_hit,
                 })
             finally:
                 worker._end_run()
@@ -1196,6 +1200,10 @@ class _WorkerClient(threading.Thread):
                 raise ProtocolError(f"malformed result frame: {exc!r}") from None
             self.inflight.pop(run_id)
             result.cached = bool(message.get("cached"))
+            engine = message.get("engine")
+            if engine:
+                result.engine_used = str(engine)
+                result.compiled_hit = bool(message.get("engine_hit"))
             origin = message.get("trace")
             if origin in ("capture", "replay"):
                 result.trace_origin = origin
@@ -1665,6 +1673,8 @@ class CoordinatorWorker(_SimulationHost):
                     "type": "result", "id": run_id,
                     "result": result.to_dict(), "cached": False,
                     "trace": result.trace_origin,
+                    "engine": result.engine_used,
+                    "engine_hit": result.compiled_hit,
                 })
             finally:
                 self._end_run()

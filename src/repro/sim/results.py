@@ -149,6 +149,13 @@ class RunResult:
     #: plain interpretation.  Transient bookkeeping like ``cached``:
     #: survives pickling to the parent process, never serialized.
     trace_origin: Optional[str] = None
+    #: Name of the execution tier that produced this result
+    #: (:mod:`repro.engines`), ``None`` on the legacy direct path.
+    #: Transient like ``cached``/``trace_origin`` — results stay
+    #: byte-identical across tiers, so the tier is never serialized.
+    engine_used: Optional[str] = None
+    #: True when the compiled tier reused already-generated code.
+    compiled_hit: bool = False
 
     # -- convenience accessors -----------------------------------------
     def predictor(self, name: str) -> PredictorMetrics:
@@ -162,6 +169,8 @@ class RunResult:
         data = asdict(self)
         data.pop("cached")
         data.pop("trace_origin")
+        data.pop("engine_used")
+        data.pop("compiled_hit")
         return data
 
     @classmethod
@@ -169,6 +178,8 @@ class RunResult:
         data = dict(data)
         data.pop("cached", None)
         data.pop("trace_origin", None)
+        data.pop("engine_used", None)
+        data.pop("compiled_hit", None)
         data["predictors"] = {
             name: PredictorMetrics(**metrics)
             for name, metrics in (data.get("predictors") or {}).items()

@@ -88,10 +88,12 @@ class Session:
         self._extra_sinks: List[Callable] = []
         self._trace_store = None
         self._trace_mode = "auto"
+        self._engine_name = None         # execution tier (None = default)
+        self._engine_options: Dict = {}
         # Live objects from the most recent run().
         self.harnesses: Dict[str, object] = {}
         self.cores: Dict[str, object] = {}
-        self.engine = None
+        self.pbs_engine = None
         self.workload_run = None
 
     # -- builder methods -----------------------------------------------
@@ -101,6 +103,26 @@ class Session:
 
     def seed(self, seed: int) -> "Session":
         self._seed = seed
+        return self
+
+    def engine(self, name: Optional[str] = None, **options) -> "Session":
+        """Select the execution tier (see :mod:`repro.engines`).
+
+        ``name`` is a registered engine (``"interp"``, ``"compiled"``,
+        ``"vector"``); ``options`` go to its constructor (e.g.
+        ``cache_dir=`` for the compiled tier's persistent codegen
+        cache).  If the chosen tier does not support this session's
+        workload/attachments, ``run()`` silently falls back to
+        ``"interp"`` — tiers change speed, never results.  ``None``
+        restores the default (the process-wide directive set by the CLI
+        ``--engine`` flag, or the direct interpreter path).
+        """
+        if name is not None:
+            from ..engines import get_engine
+
+            get_engine(name)  # fail fast on unknown names
+        self._engine_name = name
+        self._engine_options = dict(options)
         return self
 
     def predictor(
@@ -258,7 +280,7 @@ class Session:
 
         workload = get_workload(self._workload)
         consumers = self._build_consumers()
-        self.engine = (
+        self.pbs_engine = (
             PBSEngine(self._pbs_config) if self._pbs_config is not None else None
         )
         capture = None
@@ -274,14 +296,21 @@ class Session:
         if consumers:
             sink = consumers[0] if len(consumers) == 1 else FanOut(consumers)
 
+        tier = self._resolve_engine(
+            workload,
+            sink=sink is not None,
+            record_consumed=record_consumed,
+        )
+
         started = time.perf_counter()
         try:
             self.workload_run = workload.run(
                 scale=self._scale,
                 seed=self._seed,
-                pbs=self.engine,
+                pbs=self.pbs_engine,
                 sink=sink,
                 record_consumed=record_consumed,
+                engine=tier,
             )
             wall_time = time.perf_counter() - started
 
@@ -289,7 +318,9 @@ class Session:
                 core.finalize()
 
             run = self.workload_run
-            pbs_stats = self.engine.stats.as_dict() if self.engine else None
+            pbs_stats = (
+                self.pbs_engine.stats.as_dict() if self.pbs_engine else None
+            )
             if capture is not None:
                 capture.commit({
                     "workload": self._workload,
@@ -313,7 +344,8 @@ class Session:
             outputs=dict(run.outputs),
             instructions=run.instructions,
             pbs_metrics=(
-                PBSMetrics.from_stats(self.engine.stats) if self.engine else None
+                PBSMetrics.from_stats(self.pbs_engine.stats)
+                if self.pbs_engine else None
             ),
             consumed_values=(
                 list(run.consumed_values) if self._record_consumed else None
@@ -321,13 +353,39 @@ class Session:
         )
         if capture is not None:
             result.trace_origin = "capture"
+        if tier is not None:
+            result.engine_used = tier.name
+            result.compiled_hit = tier.last_cache_hit
         return result
+
+    def _resolve_engine(self, workload, *, sink: bool, record_consumed: bool):
+        """The Engine instance for this run, or ``None`` for the direct
+        interpreter path.  Unsupported tier requests fall back to
+        ``"interp"`` — engine choice may change speed, never results."""
+        from ..engines import create_engine, default_engine
+
+        if self._engine_name is not None:
+            directive = (self._engine_name, self._engine_options)
+        else:
+            directive = default_engine()
+        if directive is None:
+            return None
+        name, options = directive
+        tier = create_engine(name, **options)
+        if not tier.supports(
+            workload,
+            pbs=self._pbs_config is not None,
+            sink=sink,
+            record_consumed=record_consumed,
+        ):
+            tier = create_engine("interp")
+        return tier
 
     def _replay(self, reader) -> RunResult:
         """Rebuild a :class:`RunResult` from a stored trace, feeding the
         recorded event stream to freshly built consumers."""
         consumers = self._build_consumers()
-        self.engine = None
+        self.pbs_engine = None
         self.workload_run = None
 
         started = time.perf_counter()

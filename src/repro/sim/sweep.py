@@ -18,6 +18,7 @@ count or execution order::
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -64,6 +65,11 @@ class RunSpec:
     describe *where* the run executes, not *what* it computes, so they
     are excluded from :meth:`cache_key` — results stay bit-identical
     and cache digests stay stable with or without a trace store.
+
+    ``engine``/``engine_options`` select the execution tier
+    (:mod:`repro.engines`) the same way: tiers may change speed, never
+    results, so they ride the wire to workers but stay out of the cache
+    key.
     """
 
     workload: str
@@ -77,6 +83,8 @@ class RunSpec:
     record_consumed: bool = False
     trace_store: Optional[str] = None
     trace_mode: str = "auto"
+    engine: Optional[str] = None
+    engine_options: Dict = field(default_factory=dict)
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -140,7 +148,14 @@ class RunSpec:
             session.record_consumed()
         if self.trace_store is not None:
             session.trace(self.trace_store, self.trace_mode)
+        if self.engine is not None:
+            session.engine(self.engine, **self.engine_options)
         return session
+
+
+#: Sentinel so ``select(engine=None)`` can filter for the legacy direct
+#: path explicitly.
+_UNFILTERED = object()
 
 
 class SweepResult:
@@ -150,7 +165,9 @@ class SweepResult:
                  simulated: int = 0, wall_time: float = 0.0,
                  executor: Optional[str] = None,
                  trace_captures: int = 0, trace_hits: int = 0,
-                 workers: Optional[Dict] = None):
+                 workers: Optional[Dict] = None,
+                 engine_used: Optional[Dict[str, int]] = None,
+                 compiled_hits: int = 0, vectorized: int = 0):
         self.results = results
         self.cache_hits = cache_hits
         self.simulated = simulated
@@ -159,6 +176,9 @@ class SweepResult:
         self.trace_captures = trace_captures
         self.trace_hits = trace_hits
         self.workers = workers
+        self.engine_used = engine_used
+        self.compiled_hits = compiled_hits
+        self.vectorized = vectorized
 
     def to_stats(self) -> Dict:
         """Machine-readable run summary (the ``--stats-json`` contract —
@@ -171,6 +191,11 @@ class SweepResult:
         replays of a stored committed path (both zero without one).
         ``workers`` carries per-worker telemetry summed across the
         sweep's executor batches (``None`` for local backends).
+        ``engine_used`` maps execution-tier names to how many simulated
+        results each produced (``None`` when every run took the legacy
+        direct path); ``compiled_hits`` counts runs served from
+        already-generated code; ``vectorized`` counts results produced
+        by lockstep seed columns.
         """
         return {
             "specs": len(self.results),
@@ -181,6 +206,9 @@ class SweepResult:
             "trace_captures": self.trace_captures,
             "trace_hits": self.trace_hits,
             "workers": self.workers,
+            "engine_used": self.engine_used,
+            "compiled_hits": self.compiled_hits,
+            "vectorized": self.vectorized,
         }
 
     def __iter__(self):
@@ -191,11 +219,16 @@ class SweepResult:
 
     def select(self, **filters) -> List[RunResult]:
         """All results whose attributes match ``filters``
-        (e.g. ``workload="pi"``, ``mode="pbs"``, ``seed=3``)."""
+        (e.g. ``workload="pi"``, ``mode="pbs"``, ``seed=3``,
+        ``engine="vector"`` — ``engine=None`` matches the legacy direct
+        path)."""
         mode = filters.pop("mode", None)
+        engine = filters.pop("engine", _UNFILTERED)
         matches = []
         for result in self.results:
             if mode is not None and result.pbs != (mode == "pbs"):
+                continue
+            if engine is not _UNFILTERED and result.engine_used != engine:
                 continue
             if all(getattr(result, key) == value
                    for key, value in filters.items()):
@@ -229,6 +262,8 @@ class Sweep:
         cache_dir: Optional[str] = None,
         trace_dir: Optional[str] = None,
         split_predictors: bool = False,
+        engine: Optional[str] = None,
+        engine_options: Optional[Dict] = None,
     ):
         self.workloads = list(workloads) if workloads is not None else None
         self.scales = tuple(scales)
@@ -249,6 +284,12 @@ class Sweep:
         self.cache_dir = cache_dir
         self.trace_dir = str(trace_dir) if trace_dir else None
         self.split_predictors = split_predictors
+        if engine is not None:
+            from ..engines import get_engine
+
+            get_engine(engine)  # fail fast on unknown names
+        self.engine = engine
+        self.engine_options = dict(engine_options or {})
 
     def specs(self) -> List[RunSpec]:
         """The grid, expanded in deterministic order.
@@ -281,6 +322,8 @@ class Sweep:
                 pbs_config=self.pbs_config if mode == "pbs" else None,
                 timing=self.timing,
                 record_consumed=self.record_consumed,
+                engine=self.engine,
+                engine_options=dict(self.engine_options),
             )
             for workload in workloads
             for scale in self.scales
@@ -323,6 +366,15 @@ class Sweep:
                         on_result(spec, hit)
                     continue
             pending.append(index)
+
+        total_pending = len(pending)
+        if pending and self.engine == "vector" and self.trace_dir is None:
+            # Lockstep stage: grid columns differing only by seed run as
+            # one vectorized call; whatever it cannot take (singletons,
+            # ineligible specs, failed columns) stays for the executor.
+            pending = self._run_vector_columns(
+                specs, pending, results, cache, on_result
+            )
 
         executor_name = None
         trace_captures = trace_hits = 0
@@ -394,11 +446,100 @@ class Sweep:
                 elif origin == "replay":
                     trace_hits += 1
 
+        engine_used: Dict[str, int] = {}
+        compiled_hits = 0
+        for result in results:
+            tier_name = getattr(result, "engine_used", None)
+            if tier_name:
+                engine_used[tier_name] = engine_used.get(tier_name, 0) + 1
+            if getattr(result, "compiled_hit", False):
+                compiled_hits += 1
+
         return SweepResult(
-            results, cache_hits=len(specs) - len(pending),
-            simulated=len(pending),
+            results, cache_hits=len(specs) - total_pending,
+            simulated=total_pending,
             wall_time=time.perf_counter() - started,
             executor=executor_name,
             trace_captures=trace_captures, trace_hits=trace_hits,
             workers=workers,
+            engine_used=engine_used or None,
+            compiled_hits=compiled_hits,
+            vectorized=engine_used.get("vector", 0),
         )
+
+    def _run_vector_columns(
+        self,
+        specs: List[RunSpec],
+        pending: List[int],
+        results: List[Optional[RunResult]],
+        cache: Optional[ResultCache],
+        on_result: Optional[Callable[[RunSpec, RunResult], None]],
+    ) -> List[int]:
+        """Run seed-only columns of pending specs in numpy lockstep.
+
+        Returns the indices the lockstep stage did not take: singleton
+        columns, ineligible specs (PBS mode, predictors, timing,
+        consumed-value recording, non-vectorizable workloads, no
+        numpy), and columns whose lockstep execution failed — those
+        fall back to per-spec execution, where the Session applies the
+        same engine directive with its own interp fallback.
+        """
+        from ..engines import create_engine
+        from .registry import get_workload
+
+        tier = create_engine("vector", **self.engine_options)
+        columns: Dict[str, List[int]] = {}
+        for index in pending:
+            key = dict(specs[index].cache_key())
+            key.pop("seed")
+            columns.setdefault(
+                json.dumps(key, sort_keys=True), []
+            ).append(index)
+
+        remaining: List[int] = []
+        for column in columns.values():
+            spec = specs[column[0]]
+            workload = get_workload(spec.workload)
+            eligible = (
+                len(column) >= 2
+                and spec.mode == "base"
+                and not spec.record_consumed
+                and spec.timing is None
+                and not spec.predictors
+                and tier.supports(workload)
+            )
+            if not eligible:
+                remaining.extend(column)
+                continue
+            try:
+                from ..engines.vector import execute_lanes
+
+                program = workload.build(spec.scale)
+                started = time.perf_counter()
+                states, retired = execute_lanes(
+                    program, [specs[index].seed for index in column]
+                )
+                elapsed = (time.perf_counter() - started) / len(column)
+            except Exception:
+                # Engine choice may change speed, never outcomes: any
+                # lockstep failure falls back to per-spec execution.
+                remaining.extend(column)
+                continue
+            for index, state, instructions in zip(column, states, retired):
+                result = RunResult(
+                    workload=spec.workload,
+                    scale=spec.scale,
+                    seed=specs[index].seed,
+                    pbs=False,
+                    outputs=workload.outputs(state),
+                    instructions=instructions,
+                    wall_time=elapsed,
+                )
+                result.engine_used = tier.name
+                results[index] = result
+                if cache is not None:
+                    cache.put(specs[index].digest(), result)
+                if on_result is not None:
+                    on_result(specs[index], result)
+        remaining.sort()
+        return remaining

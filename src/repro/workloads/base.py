@@ -43,6 +43,10 @@ class Workload(abc.ABC):
     description: str = ""
     #: Table II facts.
     paper: PaperFacts = PaperFacts(0, 0, 1, "")
+    #: Opt-in to the numpy lockstep tier (:mod:`repro.engines.vector`).
+    #: Declares that the program is memory-, call- and normal-free and
+    #: that its integer state fits in int64.
+    vectorizable: bool = False
 
     @abc.abstractmethod
     def build(self, scale: float = 1.0) -> Program:
@@ -72,12 +76,22 @@ class Workload(abc.ABC):
         pbs: Optional[PBSEngine] = None,
         sink=None,
         record_consumed: bool = False,
+        engine=None,
     ) -> "WorkloadRun":
-        """Execute the workload and package the results."""
+        """Execute the workload and package the results.
+
+        ``engine`` is an :class:`repro.engines.Engine` instance choosing
+        the execution tier; ``None`` keeps the direct interpreter path.
+        """
         program = self.build(scale)
-        executor = Executor(
-            program, seed=seed, pbs=pbs, record_consumed=record_consumed
-        )
+        if engine is not None:
+            executor = engine.executor(
+                program, seed=seed, pbs=pbs, record_consumed=record_consumed
+            )
+        else:
+            executor = Executor(
+                program, seed=seed, pbs=pbs, record_consumed=record_consumed
+            )
         state = executor.run(sink=sink)
         return WorkloadRun(
             workload=self,

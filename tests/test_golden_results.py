@@ -151,6 +151,35 @@ def test_capture_then_replay_reproduces_golden_corpus(name, tmp_path):
     assert all(result.trace_origin == "replay" for result in second)
 
 
+@pytest.mark.parametrize("engine", ["compiled", "vector"])
+@pytest.mark.parametrize("name", sorted(EXECUTORS))
+def test_engine_tiers_reproduce_golden_corpus(name, engine, worker, service):
+    # Execution tiers change speed, never results: the whole corpus,
+    # re-run under each engine directive on every backend, must still
+    # match the fixtures byte for byte.  Specs a tier cannot take (the
+    # vector tier refuses PBS/sink work) fall back to the interpreter
+    # inside the Session — the directive itself rides the wire.
+    entries = _manifest()
+    specs = [
+        replace(RunSpec.from_dict(entry["spec"]), engine=engine)
+        for entry in entries
+    ]
+    executor = _build(name, worker, service)
+    try:
+        results = executor.map(specs)
+    finally:
+        executor.close()
+    for entry, result in zip(entries, results):
+        expected = (GOLDEN_DIR / entry["fixture"]).read_text()
+        assert normalized_json(result) == expected, (
+            f"engine {engine!r} on executor {name!r} diverged "
+            f"from {entry['fixture']}"
+        )
+    if engine == "compiled":
+        # The tier annotation crosses every wire protocol intact.
+        assert all(r.engine_used == "compiled" for r in results)
+
+
 def test_remote_matches_serial_on_16_point_grid(worker):
     # The acceptance grid: 16 points through a localhost repro-worker,
     # bit-identical to the in-process serial backend.
