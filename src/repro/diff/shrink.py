@@ -1,0 +1,80 @@
+"""Divergence minimizer: ddmin-lite over generated program descriptors.
+
+Given a :class:`~repro.diff.generator.GenProgram` whose build diverges
+and a predicate that rebuilds + re-diffs a candidate, :func:`shrink`
+greedily removes macro chunks (halving chunk sizes, classic delta
+debugging) and then lowers the loop count, keeping every edit that
+still diverges.  The result is the smallest descriptor the budget
+found — typically one or two macros and a single loop iteration, which
+turns a 200-instruction fuzz case into a report a human can read.
+
+The predicate owns the expensive work (building + co-executing), so the
+shrinker bounds it with ``max_attempts``; shrinking is best-effort, not
+guaranteed-minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Tuple
+
+from ..isa.builder import BuildError
+from .generator import GenProgram
+
+
+def _recompute(gen: GenProgram, body: tuple) -> GenProgram:
+    return replace(
+        gen,
+        body=body,
+        use_sub=any(m[0] == "call" for m in body),
+    )
+
+
+def shrink(
+    gen: GenProgram,
+    diverges: Callable[[GenProgram], bool],
+    max_attempts: int = 200,
+) -> Tuple[GenProgram, int]:
+    """Minimize ``gen`` under ``diverges``; returns (smallest, attempts).
+
+    ``diverges`` gets a candidate descriptor and answers whether its
+    build still reproduces the divergence; a candidate that fails to
+    build counts as "does not diverge".
+    """
+    attempts = 0
+
+    def still_diverges(candidate: GenProgram) -> bool:
+        nonlocal attempts
+        attempts += 1
+        try:
+            return bool(diverges(candidate))
+        except BuildError:
+            return False
+
+    best = gen
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        chunk = max(1, len(best.body) // 2)
+        while chunk >= 1 and attempts < max_attempts:
+            index = 0
+            while index < len(best.body) and attempts < max_attempts:
+                body = best.body[:index] + best.body[index + chunk:]
+                candidate = _recompute(best, body)
+                if still_diverges(candidate):
+                    best = candidate
+                    improved = True
+                    # Same index now holds the next chunk.
+                else:
+                    index += chunk
+            chunk //= 2
+
+    for iters in (1, 2, 3):
+        if iters >= best.iters or attempts >= max_attempts:
+            break
+        candidate = replace(best, iters=iters)
+        if still_diverges(candidate):
+            best = candidate
+            break
+
+    return best, attempts

@@ -34,8 +34,10 @@ from .base import (
 
 # Importing the tier modules runs their @register_engine decorators.
 from . import compiled, interp, vector  # noqa: E402,F401  (import side effect)
+from .vector import VectorIneligible
 
 __all__ = [
+    "VectorIneligible",
     "ENGINES",
     "Engine",
     "create_engine",

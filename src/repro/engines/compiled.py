@@ -39,6 +39,8 @@ from ..functional.executor import (
     ExecutionLimitExceeded,
     Executor,
     ProbGroup,
+    nan_max,
+    nan_min,
 )
 from ..functional.trace import TraceEvent
 from ..isa.opcodes import OP_CLASS, Op
@@ -48,7 +50,8 @@ from .base import Engine, register_engine
 
 #: Bumped when generated-code semantics change: old persisted codegen
 #: entries stop matching and are regenerated instead of misbehaving.
-CODEGEN_VERSION = 1
+#: v2: NaN-propagating MIN/MAX/FMIN/FMAX, halted flag, step variant.
+CODEGEN_VERSION = 2
 
 _CMP_SYMBOL = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}
 
@@ -141,11 +144,21 @@ def generate_source(
     sink: bool,
     pbs: bool,
     record_consumed: bool,
+    step: bool = False,
 ) -> str:
     """The specialized ``_compiled_run(self, sink)`` source for one
-    program under one execution variant."""
+    program under one execution variant.
+
+    ``step=True`` generates the resumable single-step variant used by
+    the :mod:`repro.diff` lockstep harness: every PC becomes its own
+    basic block whose entry checks the executor's ``_step_stop`` budget,
+    and the resume label / pending PROB group / retired count live on
+    the executor (``self._pc`` / ``self._pending_cmp`` /
+    ``self.retired``) so a later call continues exactly where this one
+    paused — the same contract as ``Executor.run(budget=...)``.
+    """
     n = len(decoded)
-    leaders = _block_leaders(decoded)
+    leaders = list(range(n)) if step else _block_leaders(decoded)
     leader_set = set(leaders)
 
     # Registers the program touches become function locals.
@@ -183,7 +196,7 @@ def generate_source(
     put(1, "rng_normal = rng.normal")
     put(1, "limit = self.max_instructions")
     put(1, "consumed_values = self.consumed_values")
-    put(1, "_abs = abs; _min = min; _max = max")
+    put(1, "_abs = abs; _min = _nan_min; _max = _nan_max")
     put(1, "_float = float; _int = int; _bool = bool; _zip = zip")
     put(1, "_fexp = _exp; _flog = _log; _fsin = _sin; _fcos = _cos")
     if pbs:
@@ -194,9 +207,15 @@ def generate_source(
         put(1, "pbs_transact = pbs.transact")
     for number in regs_sorted:
         put(1, f"r{number} = regs[{number}]")
-    put(1, "_pend = None")
-    put(1, "_L = 0")
-    put(1, "retired = 0")
+    if step:
+        put(1, "_pend = self._pending_cmp")
+        put(1, "_L = self._pc")
+        put(1, "retired = self.retired")
+        put(1, "_stop = self._step_stop")
+    else:
+        put(1, "_pend = None")
+        put(1, "_L = 0")
+        put(1, "retired = 0")
     put(1, "try:")
     put(2, "while True:")
 
@@ -246,7 +265,16 @@ def generate_source(
         K = len(block)
         put(3, f"if _L == {start}:")
         depth = 4
-        if not sink:
+        if step:
+            # Budget barrier: raise the limit at the interpreter's exact
+            # retired count, or pause resumably when only the per-call
+            # step budget is spent.
+            put(depth, "if retired >= _stop:")
+            put(depth + 1, "if retired >= limit:")
+            put(depth + 2,
+                'raise _XL(f"{_N}: exceeded {limit} instructions")')
+            put(depth + 1, "break")
+        elif not sink:
             # Block-granular budget: blocks are straight-line, so this
             # raises iff the interpreter's per-instruction check would
             # somewhere inside the block — with identical retired/message.
@@ -264,7 +292,7 @@ def generate_source(
             C = _operand(s2r, s2)
             D = f"r{dest}"
             last = j == K - 1
-            if sink:
+            if sink and not step:
                 limit_check(depth)
 
             if op in _BINARY_OPS:
@@ -489,6 +517,7 @@ def generate_source(
             elif op is Op.HALT:
                 assert last
                 retire(depth, K)
+                put(depth, "self._halted = True")
                 # HALT retires before its event — the interpreter's one
                 # ordering exception.
                 emit_event(depth, pc, d, f", next_pc={pc + 1}",
@@ -510,6 +539,9 @@ def generate_source(
     for number in regs_sorted:
         put(2, f"regs[{number}] = r{number}")
     put(2, "self.retired = retired")
+    if step:
+        put(2, "self._pc = _L")
+        put(2, "self._pending_cmp = _pend")
     put(1, "return state")
     return out.source()
 
@@ -524,7 +556,7 @@ class CodegenStore(ShardedStore):
 #: (program digest, variant) -> bound function — shared process-wide so
 #: every engine instance (and every Session in a sweep worker) reuses
 #: one compilation per program.
-_MEMO: Dict[Tuple[str, Tuple[bool, bool, bool]], object] = {}
+_MEMO: Dict[Tuple[str, Tuple[bool, bool, bool, bool]], object] = {}
 
 
 def _bind(source: str, program, decoded: List[tuple]):
@@ -541,6 +573,8 @@ def _bind(source: str, program, decoded: List[tuple]):
         "_log": math.log,
         "_sin": math.sin,
         "_cos": math.cos,
+        "_nan_min": nan_min,
+        "_nan_max": nan_max,
     }
     exec(compile(source, f"<compiled {program.name}>", "exec"), namespace)
     return namespace["_compiled_run"]
@@ -552,6 +586,7 @@ def compiled_function(
     sink: bool,
     pbs: bool,
     record_consumed: bool,
+    step: bool = False,
     store: Optional[CodegenStore] = None,
 ):
     """The (memoized) compiled function for one program + variant.
@@ -561,7 +596,7 @@ def compiled_function(
     """
     decoded = Executor._decode(program.instructions)
     digest = program_digest(program, decoded)
-    variant = (bool(sink), bool(pbs), bool(record_consumed))
+    variant = (bool(sink), bool(pbs), bool(record_consumed), bool(step))
     key = (digest, variant)
     cached = _MEMO.get(key)
     if cached is not None:
@@ -582,6 +617,7 @@ def compiled_function(
         source = generate_source(
             program, decoded,
             sink=variant[0], pbs=variant[1], record_consumed=variant[2],
+            step=variant[3],
         )
         if store is not None:
             store.write_entry(store_digest, source, meta={
@@ -602,19 +638,32 @@ class CompiledExecutor(Executor):
                  **kwargs):
         super().__init__(program, **kwargs)
         self._engine = engine
+        self._step_stop = 0
 
-    def run(self, sink=None):
+    def run(self, sink=None, budget=None):
         # The execution variant (events? PBS? consumed-value recording?)
-        # is only known here, so compilation is lazy per run.
+        # is only known here, so compilation is lazy per run.  A budget —
+        # or any earlier partial progress — routes to the resumable step
+        # variant; a fresh unbounded run keeps the fast block-dispatch
+        # code.
+        if self._halted:
+            return self.state
+        step = budget is not None or self._pc != 0 or self.retired != 0
         function, cache_hit = compiled_function(
             self.program,
             sink=sink is not None,
             pbs=self.pbs is not None,
             record_consumed=self.record_consumed,
+            step=step,
             store=self._engine.store if self._engine is not None else None,
         )
         if self._engine is not None:
             self._engine.last_cache_hit = cache_hit
+        if step:
+            limit = self.max_instructions
+            self._step_stop = (
+                limit if budget is None else min(limit, self.retired + budget)
+            )
         return function(self, sink)
 
 

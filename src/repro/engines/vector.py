@@ -27,10 +27,13 @@ Bit-identity is non-negotiable, so the tier is deliberately narrow:
   ``FFLOOR`` go through the same scalar ``math``/``float`` operations
   as the interpreter, lane by lane — libm vectorization is *not*
   guaranteed to round identically, so we don't use it;
-* programs touching memory, the call stack, Box-Muller normals
-  (lane-crossing cache), or MIN/MAX (NaN-tie semantics differ) are
-  ineligible, as is any run attaching a PBS engine, a trace sink, or
-  consumed-value recording.
+* ``MIN``/``MAX``/``FMIN``/``FMAX`` implement the explicit
+  NaN-propagating, first-operand-tie rule of
+  :func:`repro.functional.nan_min` via ``np.where`` chains (plain
+  ``np.minimum`` picks the *second* operand on signed-zero ties);
+* programs touching memory, the call stack, or Box-Muller normals
+  (lane-crossing cache) are ineligible, as is any run attaching a PBS
+  engine, a trace sink, or consumed-value recording.
 
 Integer registers are ``int64`` (the interpreter's are arbitrary
 precision); eligible workloads opt in with ``vectorizable = True`` and
@@ -42,6 +45,7 @@ answers False and callers fall back to ``"interp"``.
 
 from __future__ import annotations
 
+import functools
 import math
 import operator
 from typing import List, Optional, Tuple
@@ -102,14 +106,32 @@ _SCALAR_MATH = {
     Op.FFLOOR: lambda v: float(int(v // 1)),
 }
 
+_MINMAX_OPS = {Op.MIN: False, Op.FMIN: False, Op.MAX: True, Op.FMAX: True}
+
 _SUPPORTED = (
-    set(_BINARY_FN) | set(_COMPARE_FN) | set(_BRANCH_FN) | set(_SCALAR_MATH) | {
+    set(_BINARY_FN) | set(_COMPARE_FN) | set(_BRANCH_FN) | set(_SCALAR_MATH)
+    | set(_MINMAX_OPS) | {
         Op.MOV, Op.FMOV, Op.DIV, Op.MOD, Op.CMP,
         Op.SELECT, Op.FSELECT, Op.FABS, Op.FNEG, Op.ITOF, Op.FTOI,
         Op.RAND, Op.OUT, Op.NOP, Op.HALT,
         Op.JT, Op.JF, Op.JMP, Op.PROB_CMP, Op.PROB_JMP,
     }
 )
+
+
+class VectorIneligible(ExecutionError):
+    """The program or run configuration is outside the vector tier's
+    envelope (missing numpy, unsupported opcodes, PBS/sink/consumed
+    attachments).  A fallback to another tier is always safe; anything
+    *else* escaping the tier is a real engine fault."""
+
+
+def _nan_minmax(np, a, b, use_max: bool):
+    """Elementwise :func:`repro.functional.nan_min`/``nan_max``: NaN
+    propagates (first NaN operand wins), ties keep the first operand."""
+    inner = np.where(a >= b if use_max else a <= b, a, b)
+    inner = np.where(np.isnan(b), b, inner)
+    return np.where(np.isnan(a), a, inner)
 
 #: Uniform-mode step results besides "next pc": all lanes halted /
 #: lanes diverged (the closure has already written the ``pc`` array).
@@ -231,6 +253,11 @@ def _compile_uniform(np, decoded, lanes: "_Lanes"):
         if op in _UFUNC:
             def step(fn=_UFUNC[op], a=a, b=b, d_arr=d_arr, nextp=nextp):
                 fn(a, b, out=d_arr)
+                return nextp
+        elif op in _MINMAX_OPS:
+            def step(a=a, b=b, d_arr=d_arr, nextp=nextp, np=np,
+                     use_max=_MINMAX_OPS[op]):
+                d_arr[:] = _nan_minmax(np, a, b, use_max)
                 return nextp
         elif op in _COMPARE_FN:
             def step(fn=_COMPARE_FN[op], a=a, b=b, d_arr=d_arr, nextp=nextp):
@@ -383,6 +410,10 @@ def _step_masked(np, decoded, lanes: "_Lanes", p: int, mask) -> None:
 
     if op in _BINARY_FN:
         regs[dest][mask] = _BINARY_FN[op](val(s0r, s0), val(s1r, s1))
+    elif op in _MINMAX_OPS:
+        regs[dest][mask] = _nan_minmax(
+            np, val(s0r, s0), val(s1r, s1), _MINMAX_OPS[op]
+        )
     elif op in _COMPARE_FN:
         regs[dest][mask] = _COMPARE_FN[op](
             val(s0r, s0), val(s1r, s1)
@@ -474,6 +505,25 @@ def _step_masked(np, decoded, lanes: "_Lanes", p: int, mask) -> None:
     lanes.retired[mask] += 1
 
 
+def _silent_ieee(fn):
+    """Run ``fn`` with numpy FP traps ignored.
+
+    The interpreter follows Python float semantics — overflow to inf and
+    inf - inf = NaN happen silently — so the lockstep core must not emit
+    RuntimeWarnings for the same arithmetic (under ``-W error`` they
+    would become a tier-only fault, a false divergence).
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        np = _numpy()
+        if np is None:
+            return fn(*args, **kwargs)
+        with np.errstate(all="ignore"):
+            return fn(*args, **kwargs)
+    return wrapper
+
+
+@_silent_ieee
 def execute_lanes(
     program,
     seeds: List[int],
@@ -488,11 +538,11 @@ def execute_lanes(
     """
     np = _numpy()
     if np is None:
-        raise ExecutionError("vector engine requires numpy")
+        raise VectorIneligible("vector engine requires numpy")
     decoded = Executor._decode(program.instructions)
     bad = ineligible_ops(decoded)
     if bad:
-        raise ExecutionError(
+        raise VectorIneligible(
             f"{program.name}: vector engine cannot execute {', '.join(bad)}"
         )
     n = len(decoded)
@@ -532,6 +582,11 @@ def execute_lanes(
                 # target without leaving uniform mode.
                 taken, nextp, join = result
                 lanes.retired += pending
+                # The flushed uniform retirements count against the
+                # budget *before* sizing the predicated region — a
+                # stale base here let masked steps (which carry no
+                # limit checks) sail past max_instructions.
+                limit_base += pending
                 pending = 0
                 if limit_base + (join - nextp) >= max_instructions:
                     # Too close to the budget for the coarse path; let
@@ -578,6 +633,94 @@ def execute_lanes(
     return states, [int(count) for count in lanes.retired]
 
 
+class LaneStepper:
+    """Retired-count-barrier stepping for the :mod:`repro.diff` harness.
+
+    Drives a seed column through the *masked* interpreter only — no
+    uniform fast path, no predicated regions — so every lane can be
+    paused at an exact retired count and its architectural state read
+    back as Python scalars.  Slower than :func:`execute_lanes`, but the
+    point is observability, not throughput.
+    """
+
+    def __init__(self, program, seeds: List[int],
+                 max_instructions: int = 50_000_000):
+        np = _numpy()
+        if np is None:
+            raise VectorIneligible("vector engine requires numpy")
+        decoded = Executor._decode(program.instructions)
+        bad = ineligible_ops(decoded)
+        if bad:
+            raise VectorIneligible(
+                f"{program.name}: vector engine cannot execute "
+                f"{', '.join(bad)}"
+            )
+        self.np = np
+        self.program = program
+        self.decoded = decoded
+        self.max_instructions = max_instructions
+        self.lanes = _Lanes(np, program, seeds)
+
+    @_silent_ieee
+    def step_to(self, target_retired: int) -> None:
+        """Advance every lane until it has retired ``target_retired``
+        instructions, halted, or hit ``max_instructions``.
+
+        Raises :class:`ExecutionLimitExceeded` — at the interpreter's
+        exact retired count — when a still-active lane would have to
+        cross the limit to reach the barrier.
+        """
+        np = self.np
+        lanes = self.lanes
+        decoded = self.decoded
+        n = len(decoded)
+        limit = self.max_instructions
+        barrier = min(target_retired, limit)
+        while True:
+            eligible = lanes.active & (lanes.retired < barrier)
+            if not eligible.any():
+                break
+            p = int(lanes.pc[eligible].min())
+            if not 0 <= p < n:
+                raise ExecutionError(
+                    f"{self.program.name}: PC {p} out of range"
+                )
+            mask = eligible & (lanes.pc == p)
+            _step_masked(np, decoded, lanes, p, mask)
+        # The interpreter raises the moment its loop-top check *sees*
+        # retired == limit on a live lane — which happens whenever the
+        # requested stop point is at or past the limit.  Mirror that
+        # exactly (a lane that halts on its limit-th instruction never
+        # re-enters the loop, so it does not raise — same as interp).
+        if target_retired >= limit and bool(
+            (lanes.active & (lanes.retired >= limit)).any()
+        ):
+            raise ExecutionLimitExceeded(
+                f"{self.program.name}: exceeded {limit} instructions"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-lane observation (everything as plain Python values).
+    # ------------------------------------------------------------------
+    def lane_halted(self, lane: int) -> bool:
+        return not bool(self.lanes.active[lane])
+
+    def lane_retired(self, lane: int) -> int:
+        return int(self.lanes.retired[lane])
+
+    def lane_pc(self, lane: int) -> int:
+        return int(self.lanes.pc[lane])
+
+    def lane_regs(self, lane: int) -> List:
+        return [self.lanes.regs[n][lane].item() for n in range(NUM_REGS)]
+
+    def lane_rng_state(self, lane: int) -> int:
+        return int(self.lanes.rng[lane])
+
+    def lane_outputs(self, lane: int) -> dict:
+        return self.lanes.outputs[lane]
+
+
 class VectorExecutor:
     """Single-lane adapter so ``Session ... --engine vector`` runs
     through the same lockstep core as sweep columns."""
@@ -593,7 +736,7 @@ class VectorExecutor:
 
     def run(self, sink=None) -> MachineState:
         if sink is not None:
-            raise ExecutionError(
+            raise VectorIneligible(
                 f"{self.program.name}: vector engine does not emit traces"
             )
         states, retired = execute_lanes(
@@ -625,7 +768,7 @@ class VectorEngine(Engine):
     def executor(self, program, *, seed=0, pbs=None, record_consumed=False):
         self.last_cache_hit = False
         if pbs is not None or record_consumed:
-            raise ExecutionError(
+            raise VectorIneligible(
                 f"{program.name}: vector engine supports neither PBS nor "
                 "consumed-value recording"
             )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..sim import Session, get_workload, workload_names
+from ..sim import Session, get_workload, paper_workload_names
 from ..stats import proportion_interval
 from .common import DEFAULT_SCALE, ExperimentResult
 
@@ -35,7 +35,7 @@ def run(
         columns=["benchmark", "metric", "mean_error", "max_error", "verdict"],
         paper_claim=PAPER_CLAIM,
     )
-    for name in names or workload_names():
+    for name in names or paper_workload_names():
         workload = get_workload(name)
         if name == "genetic":
             # Genetic needs enough generations for success to be possible

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..sim import Sweep, workload_names
+from ..sim import Sweep, paper_workload_names
 from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult
 
 TITLE = "Figure 1: probabilistic vs regular branch breakdown"
@@ -39,7 +39,7 @@ def run(
         ],
         paper_claim=PAPER_CLAIM,
     )
-    names = list(names or workload_names())
+    names = list(names or paper_workload_names())
     runs = Sweep(
         workloads=names,
         scales=(scale,),

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from ..pipeline import CoreConfig, four_wide
-from ..sim import Sweep, workload_names
+from ..sim import Sweep, paper_workload_names
 from .common import (
     DEFAULT_SCALE,
     DEFAULT_SEED,
@@ -44,7 +44,7 @@ def run(
         + ["norm_tage-sc-l", "norm_tournament+pbs", "norm_tage-sc-l+pbs"],
         paper_claim=paper_claim,
     )
-    names = list(names or workload_names())
+    names = list(names or paper_workload_names())
     runs = Sweep(
         workloads=names,
         scales=(scale,),

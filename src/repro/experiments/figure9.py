@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..sim import Session, workload_names
+from ..sim import Session, paper_workload_names
 from .common import DEFAULT_SCALE, ExperimentResult
 
 TITLE = "Figure 9: regular-branch MPKI increase from prob-branch interference"
@@ -46,7 +46,7 @@ def run(
     if include_tagescl:
         predictors["tagescl"] = "tage-sc-l"
 
-    for name in names or workload_names():
+    for name in names or paper_workload_names():
         increases = {pname: [] for pname in predictors}
         for seed in seeds:
             # One interpretation feeds all four harnesses: the shared and

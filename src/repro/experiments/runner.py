@@ -7,6 +7,7 @@ Subcommands::
     pbs-experiments sweep --workloads pi,dop --seeds 0,1,2,3 --processes 4
     pbs-experiments sweep --trace-store .pbs-traces --split-predictors ...
     pbs-experiments trace ls                   # captured traces
+    pbs-experiments diff --tiers interp,compiled,vector --programs 200
     pbs-experiments list workloads             # registry contents
 
 The pre-subcommand invocation style (``pbs-experiments figure6``) keeps
@@ -285,6 +286,55 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument(
         "--json", action="store_true",
         help="emit the structured reports as a JSON array",
+    )
+
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help="single-step lockstep differential run across execution "
+             "tiers: fuzz generated programs (and optionally registered "
+             "workloads), report the first divergence as a structured "
+             "delta with a minimized reproducer",
+    )
+    diff_parser.add_argument(
+        "--tiers", type=_csv, default=["interp", "compiled"],
+        help="comma-separated tiers to co-execute (interp, compiled, "
+             "vector, replay; default: interp,compiled); the first is "
+             "the reference",
+    )
+    diff_parser.add_argument(
+        "--programs", type=int, default=50, metavar="N",
+        help="number of generated programs to lockstep (default 50)",
+    )
+    diff_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; program i uses seed + i (default 0)",
+    )
+    diff_parser.add_argument(
+        "--stride", type=int, default=1,
+        help="retired-count barrier stride; >1 runs coarse then refines "
+             "any hit to step-exact (default 1)",
+    )
+    diff_parser.add_argument(
+        "--max-instructions", type=int, default=None, metavar="LIMIT",
+        help="per-tier instruction limit (default: the diff harness "
+             "default); limit faults must also match across tiers",
+    )
+    diff_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report divergences without minimizing the program",
+    )
+    diff_parser.add_argument(
+        "--workloads", type=_csv, default=None,
+        help="also lockstep these registered workloads ('all' = every "
+             "one) at --scale",
+    )
+    diff_parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="workload scale for --workloads lockstep (default 0.02)",
+    )
+    diff_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
     )
 
     trace_parser = subparsers.add_parser(
@@ -690,6 +740,153 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_diff(args) -> int:
+    from ..diff import (
+        DIFF_MAX_INSTRUCTIONS,
+        STEPPERS,
+        build_program,
+        diff_tiers,
+        generate,
+        shrink,
+    )
+    from ..engines.vector import VectorIneligible, vector_eligible
+
+    unknown = [t for t in args.tiers if t not in STEPPERS]
+    if unknown:
+        print(f"error: unknown tier(s) {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(STEPPERS))}", file=sys.stderr)
+        return 2
+    if len(args.tiers) < 2:
+        print("error: --tiers needs at least two tiers", file=sys.stderr)
+        return 2
+    limit = args.max_instructions or DIFF_MAX_INSTRUCTIONS
+    want_vector = "vector" in args.tiers
+    vector_available = True
+    if want_vector:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            vector_available = False
+
+    divergences = []
+    vector_skipped = 0
+    checked = 0
+
+    def run_case(program, tiers, seed):
+        nonlocal checked
+        checked += 1
+        return diff_tiers(
+            program, tiers, seed=seed,
+            max_instructions=limit, stride=args.stride,
+        )
+
+    for index in range(args.programs):
+        seed = args.seed + index
+        # Alternate profiles when vector is in play so both the full ISA
+        # and the vector envelope get coverage.
+        profile = "vector" if want_vector and index % 2 == 0 else "full"
+        gen = generate(seed, profile)
+        program = build_program(gen)
+        tiers = list(args.tiers)
+        if want_vector and (
+            not vector_available or not vector_eligible(program)
+        ):
+            tiers = [t for t in tiers if t != "vector"]
+            vector_skipped += 1
+        divergence = run_case(program, tiers, seed)
+        if divergence is None:
+            continue
+        entry = {
+            "seed": seed,
+            "profile": profile,
+            "divergence": divergence.to_dict(),
+            "minimized": None,
+        }
+        if not args.no_shrink:
+            def still_diverges(candidate):
+                try:
+                    return diff_tiers(
+                        build_program(candidate), tiers, seed=seed,
+                        max_instructions=limit,
+                    ) is not None
+                except VectorIneligible:
+                    return False
+
+            small, attempts = shrink(gen, still_diverges)
+            minimized = diff_tiers(
+                build_program(small), tiers, seed=seed,
+                max_instructions=limit,
+            )
+            entry["minimized"] = {
+                "iters": small.iters,
+                "macros": [list(m) for m in small.body],
+                "shrink_attempts": attempts,
+                "divergence": (
+                    minimized.to_dict() if minimized is not None else None
+                ),
+            }
+        divergences.append(entry)
+        if not args.json:
+            print(divergence.summary())
+
+    workload_reports = []
+    if args.workloads:
+        names = (
+            workload_names() if args.workloads == ["all"] else args.workloads
+        )
+        from ..sim import get_workload
+
+        for name in names:
+            program = get_workload(name).build(args.scale)
+            tiers = list(args.tiers)
+            if want_vector and (
+                not vector_available or not vector_eligible(program)
+            ):
+                tiers = [t for t in tiers if t != "vector"]
+                vector_skipped += 1
+            divergence = run_case(program, tiers, args.seed)
+            workload_reports.append({
+                "workload": name,
+                "tiers": tiers,
+                "divergence": (
+                    divergence.to_dict() if divergence is not None else None
+                ),
+            })
+            if divergence is not None:
+                divergences.append({
+                    "workload": name,
+                    "divergence": divergence.to_dict(),
+                    "minimized": None,
+                })
+                if not args.json:
+                    print(divergence.summary())
+
+    report = {
+        "programs": args.programs,
+        "checked": checked,
+        "tiers": list(args.tiers),
+        "stride": args.stride,
+        "vector_available": vector_available if want_vector else None,
+        "vector_skipped": vector_skipped if want_vector else 0,
+        "workloads": workload_reports,
+        "divergences": divergences,
+        "ok": not divergences,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        skipped = (
+            f", vector skipped on {vector_skipped}" if want_vector else ""
+        )
+        verdict = "OK" if report["ok"] else "DIVERGED"
+        print(
+            f"{verdict}: {checked} lockstep runs over "
+            f"{','.join(args.tiers)} ({len(divergences)} divergence(s)"
+            f"{skipped})"
+        )
+    return 0 if report["ok"] else 1
+
+
 def _cmd_list(args) -> int:
     sections = []
     if args.what in ("workloads", "all"):
@@ -719,7 +916,8 @@ def main(argv=None) -> int:
     artefacts = set(EXPERIMENTS) | {"all"}
     if (
         argv
-        and argv[0] not in {"run", "sweep", "list", "trace", "analyze"}
+        and argv[0] not in {"run", "sweep", "list", "trace", "analyze",
+                            "diff"}
         and any(token in artefacts for token in argv)
     ):
         argv.insert(0, "run")
@@ -737,6 +935,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     return _cmd_list(args)
 
 

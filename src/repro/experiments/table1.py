@@ -8,7 +8,7 @@ applicable variant and checking it runs to the same outputs.
 from __future__ import annotations
 
 from ..functional import Executor
-from ..sim import Session, get_workload, workload_names
+from ..sim import Session, get_workload, paper_workload_names
 from ..transforms import TABLE1, build_cfd, build_predicated
 from .common import ExperimentResult
 
@@ -41,7 +41,7 @@ def run(verify: bool = True) -> ExperimentResult:
         columns=["benchmark", "predication", "cfd", "pbs"],
         paper_claim=PAPER_CLAIM,
     )
-    for name in workload_names():
+    for name in paper_workload_names():
         row = TABLE1[name]
         if row.predication:
             predication = _verify_variant("predication", name) if verify else "yes"

@@ -8,7 +8,7 @@ larger — the probabilistic branch counts are the part that must match).
 
 from __future__ import annotations
 
-from ..sim import Session, all_workloads
+from ..sim import Session, get_workload, paper_workload_names
 from .common import DEFAULT_SCALE, DEFAULT_SEED, ExperimentResult
 
 TITLE = "Table II: benchmarks and their characteristics"
@@ -31,7 +31,7 @@ def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> ExperimentRes
         ],
         paper_claim=PAPER_CLAIM,
     )
-    for workload in all_workloads():
+    for workload in map(get_workload, paper_workload_names()):
         summary = workload.static_summary()
         run_result = Session(workload.name, scale=scale, seed=seed).run()
         result.add_row(

@@ -6,6 +6,8 @@ from .executor import (
     Executor,
     ProbDecision,
     ProbGroup,
+    nan_max,
+    nan_min,
 )
 from .rng import Drand48, RecordingRng
 from .state import MachineState, MemoryFault
@@ -17,6 +19,8 @@ __all__ = [
     "Executor",
     "ProbDecision",
     "ProbGroup",
+    "nan_max",
+    "nan_min",
     "Drand48",
     "RecordingRng",
     "MachineState",

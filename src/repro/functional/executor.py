@@ -38,6 +38,33 @@ class ExecutionError(Exception):
     """A runtime fault (bad operand, division by zero, stack underflow)."""
 
 
+def nan_min(a, b):
+    """``MIN``/``FMIN`` semantics shared by every execution tier.
+
+    NaN propagates: if either operand is NaN the result is the first NaN
+    operand.  On ties (including ``-0.0`` vs ``0.0``) the first operand
+    wins, matching Python's ``min`` for the non-NaN case, so results are
+    unchanged wherever NaN cannot occur.  This is also what
+    ``numpy.minimum`` computes, which is what lets the vector tier run
+    these ops (see docs/engines.md, "NaN semantics").
+    """
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return a if a <= b else b
+
+
+def nan_max(a, b):
+    """``MAX``/``FMAX`` semantics shared by every execution tier (see
+    :func:`nan_min`)."""
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return a if a >= b else b
+
+
 class ProbGroup:
     """A decoded PROB_CMP + PROB_JMP... group, handed to the PBS engine.
 
@@ -101,6 +128,14 @@ class Executor:
         #: Probabilistic compare values in the order the program consumed
         #: them (used by the Table III randomness experiment).
         self.consumed_values: List[float] = []
+        # Resume state for the step()/checkpoint API: the next PC to
+        # execute, the PROB_CMP group being assembled, and whether HALT
+        # has retired.  run() persists these on every exit so execution
+        # can continue exactly where it paused.
+        self._pc = 0
+        self._pending_cmp = None
+        self._halted = False
+        self._decoded = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -162,8 +197,18 @@ class Executor:
             ))
         return decoded
 
-    def run(self, sink: Optional[Sink] = None) -> MachineState:
-        """Execute until HALT; feed events to ``sink`` if given."""
+    def run(
+        self, sink: Optional[Sink] = None, budget: Optional[int] = None
+    ) -> MachineState:
+        """Execute until HALT; feed events to ``sink`` if given.
+
+        ``budget`` bounds how many instructions *this call* may retire;
+        execution pauses (without error) once it is spent and a later
+        ``run()``/``step()`` resumes from the exact paused state.  The
+        overall ``max_instructions`` limit still applies and still
+        raises :class:`ExecutionLimitExceeded` at the same retired
+        count whether execution was stepped or run straight through.
+        """
         program = self.program
         state = self.state
         regs = state.regs
@@ -180,7 +225,9 @@ class Executor:
         op_class = OP_CLASS
         record_consumed = self.record_consumed
         consumed_values = self.consumed_values
-        decoded = self._decode(program.instructions)
+        decoded = self._decoded
+        if decoded is None:
+            decoded = self._decoded = self._decode(program.instructions)
 
         # Hoisted globals/builtins: every name below is read once here
         # instead of per retired instruction.
@@ -188,7 +235,8 @@ class Executor:
         eval_cmp = evaluate_cmp
         prob_decision = ProbDecision
         prob_group = ProbGroup
-        _abs, _min, _max, _float, _int, _bool = abs, min, max, float, int, bool
+        _abs, _float, _int, _bool = abs, float, int, bool
+        _nmin, _nmax = nan_min, nan_max
         NOT_PROB = ProbMode.NOT_PROB
         PBS_HIT = ProbMode.PBS_HIT
         PREDICTED = ProbMode.PREDICTED
@@ -219,17 +267,22 @@ class Executor:
 
         # Pending probabilistic group being assembled between PROB_CMP and
         # the final PROB_JMP.
-        pending_cmp = None  # (cmp_op, cond, const_value, regs, values)
+        pending_cmp = self._pending_cmp  # (cmp_op, cond, const_value, regs, values)
 
-        pc = 0
-        retired = 0
+        if self._halted:
+            return state
+        pc = self._pc
+        retired = self.retired
+        stop = limit if budget is None else min(limit, retired + budget)
         n_instructions = len(decoded)
         try:
             while True:
-                if retired >= limit:
-                    raise ExecutionLimitExceeded(
-                        f"{program.name}: exceeded {limit} instructions"
-                    )
+                if retired >= stop:
+                    if retired >= limit:
+                        raise ExecutionLimitExceeded(
+                            f"{program.name}: exceeded {limit} instructions"
+                        )
+                    break  # budget spent: pause, resumable
                 (op, dest, s0r, s0, s1r, s1, s2r, s2,
                  target_f, offset, cmp_op_f, trace_srcs) = decoded[pc]
                 next_pc = pc + 1
@@ -437,9 +490,9 @@ class Executor:
                         1 if (regs[s0] if s0r else s0) != (regs[s1] if s1r else s1) else 0
                     )
                 elif op is MIN:
-                    regs[dest] = _min(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
+                    regs[dest] = _nmin(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
                 elif op is MAX:
-                    regs[dest] = _max(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
+                    regs[dest] = _nmax(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
                 elif op is SELECT or op is FSELECT:
                     regs[dest] = (
                         (regs[s1] if s1r else s1)
@@ -463,9 +516,9 @@ class Executor:
                 elif op is FNEG:
                     regs[dest] = -(regs[s0] if s0r else s0)
                 elif op is FMIN:
-                    regs[dest] = _min(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
+                    regs[dest] = _nmin(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
                 elif op is FMAX:
-                    regs[dest] = _max(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
+                    regs[dest] = _nmax(regs[s0] if s0r else s0, regs[s1] if s1r else s1)
                 elif op is FLT:
                     regs[dest] = (
                         1 if (regs[s0] if s0r else s0) < (regs[s1] if s1r else s1) else 0
@@ -494,6 +547,7 @@ class Executor:
                     pass
                 elif op is HALT:
                     retired += 1
+                    self._halted = True
                     if emit:
                         sink(
                             make_event(
@@ -531,5 +585,76 @@ class Executor:
                     raise ExecutionError(f"{program.name}: PC {pc} out of range")
         finally:
             self.retired = retired
+            self._pc = pc
+            self._pending_cmp = pending_cmp
 
         return state
+
+    # ------------------------------------------------------------------
+    # Stepping / checkpoint API (the repro.diff lockstep hooks).
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> bool:
+        """True once HALT has retired; further run()/step() are no-ops."""
+        return self._halted
+
+    @property
+    def pc(self) -> int:
+        """The next PC to execute (the HALT's PC once halted)."""
+        return self._pc
+
+    def step(self, n: int = 1, sink: Optional[Sink] = None) -> int:
+        """Retire at most ``n`` instructions; return how many retired.
+
+        Returns ``0`` once the program has halted.  Raises exactly the
+        errors ``run()`` would raise, at exactly the same retired count.
+        """
+        before = self.retired
+        self.run(sink=sink, budget=n)
+        return self.retired - before
+
+    def checkpoint(self) -> dict:
+        """Snapshot everything ``restore`` needs to replay from here.
+
+        The snapshot is a plain dict of copied state — registers,
+        memory, call stack, outputs, RNG (including the cached
+        Box-Muller normal), resume PC, pending PROB group and retired
+        count — so a shrinker or harness can rewind without re-running
+        the prefix.
+        """
+        state = self.state
+        pending = self._pending_cmp
+        return {
+            "pc": self._pc,
+            "retired": self.retired,
+            "halted": self._halted,
+            "regs": list(state.regs),
+            "memory": list(state.memory),
+            "call_stack": list(state.call_stack),
+            "outputs": {k: list(v) for k, v in state.outputs.items()},
+            "rng": self.rng.snapshot(),
+            "pending_cmp": None if pending is None else (
+                pending[0], pending[1], pending[2],
+                list(pending[3]), list(pending[4]),
+            ),
+            "consumed": len(self.consumed_values),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Rewind to a :meth:`checkpoint` snapshot."""
+        state = self.state
+        self._pc = snap["pc"]
+        self.retired = snap["retired"]
+        self._halted = snap["halted"]
+        state.regs[:] = snap["regs"]
+        state.memory[:] = snap["memory"]
+        state.call_stack[:] = snap["call_stack"]
+        state.outputs.clear()
+        state.outputs.update({k: list(v) for k, v in snap["outputs"].items()})
+        self.rng.restore(snap["rng"])
+        pending = snap["pending_cmp"]
+        self._pending_cmp = None if pending is None else (
+            pending[0], pending[1], pending[2],
+            list(pending[3]), list(pending[4]),
+        )
+        del self.consumed_values[snap["consumed"]:]

@@ -52,6 +52,7 @@ from .registry import (
     predictor_factory,
     predictor_names,
     register_predictor,
+    paper_workload_names,
     register_workload,
     workload_class,
     workload_names,
@@ -129,6 +130,7 @@ __all__ = [
     "register_predictor",
     "register_workload",
     "workload_class",
+    "paper_workload_names",
     "workload_names",
     "CoreMetrics",
     "PBSMetrics",

@@ -266,6 +266,21 @@ def workload_names() -> List[str]:
     return WORKLOADS.names()
 
 
+def paper_workload_names() -> List[str]:
+    """Only the paper's Table II benchmarks, in table order.
+
+    Registered workloads with ``paper = None`` (ported kernels that join
+    the differential/golden corpus but appear in no paper table) are
+    excluded; the paper-figure experiments default to this list so their
+    result shapes stay pinned to the paper's eight rows.
+    """
+    return [
+        name
+        for name in WORKLOADS.names()
+        if getattr(get_workload(name), "paper", None) is not None
+    ]
+
+
 def workload_class(name: str) -> type:
     return WORKLOADS.get(name)
 

@@ -19,6 +19,7 @@ count or execution order::
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -167,7 +168,8 @@ class SweepResult:
                  trace_captures: int = 0, trace_hits: int = 0,
                  workers: Optional[Dict] = None,
                  engine_used: Optional[Dict[str, int]] = None,
-                 compiled_hits: int = 0, vectorized: int = 0):
+                 compiled_hits: int = 0, vectorized: int = 0,
+                 engine_fallbacks: Optional[List[Dict]] = None):
         self.results = results
         self.cache_hits = cache_hits
         self.simulated = simulated
@@ -179,6 +181,7 @@ class SweepResult:
         self.engine_used = engine_used
         self.compiled_hits = compiled_hits
         self.vectorized = vectorized
+        self.engine_fallbacks = engine_fallbacks or []
 
     def to_stats(self) -> Dict:
         """Machine-readable run summary (the ``--stats-json`` contract —
@@ -196,7 +199,18 @@ class SweepResult:
         direct path); ``compiled_hits`` counts runs served from
         already-generated code; ``vectorized`` counts results produced
         by lockstep seed columns.
+        ``engine_fallbacks`` summarizes lockstep columns that fell back
+        to per-spec execution — ``{"count", "reasons"}`` where each
+        reason records the workload, the exception, and whether it was
+        a safe ineligibility or a real engine fault (``None`` when no
+        column fell back).
         """
+        fallbacks = None
+        if self.engine_fallbacks:
+            fallbacks = {
+                "count": len(self.engine_fallbacks),
+                "reasons": [dict(f) for f in self.engine_fallbacks],
+            }
         return {
             "specs": len(self.results),
             "simulated": self.simulated,
@@ -209,6 +223,7 @@ class SweepResult:
             "engine_used": self.engine_used,
             "compiled_hits": self.compiled_hits,
             "vectorized": self.vectorized,
+            "engine_fallbacks": fallbacks,
         }
 
     def __iter__(self):
@@ -368,12 +383,13 @@ class Sweep:
             pending.append(index)
 
         total_pending = len(pending)
+        engine_fallbacks: List[Dict] = []
         if pending and self.engine == "vector" and self.trace_dir is None:
             # Lockstep stage: grid columns differing only by seed run as
             # one vectorized call; whatever it cannot take (singletons,
             # ineligible specs, failed columns) stays for the executor.
             pending = self._run_vector_columns(
-                specs, pending, results, cache, on_result
+                specs, pending, results, cache, on_result, engine_fallbacks
             )
 
         executor_name = None
@@ -465,6 +481,7 @@ class Sweep:
             engine_used=engine_used or None,
             compiled_hits=compiled_hits,
             vectorized=engine_used.get("vector", 0),
+            engine_fallbacks=engine_fallbacks,
         )
 
     def _run_vector_columns(
@@ -474,6 +491,7 @@ class Sweep:
         results: List[Optional[RunResult]],
         cache: Optional[ResultCache],
         on_result: Optional[Callable[[RunSpec, RunResult], None]],
+        fallbacks: List[Dict],
     ) -> List[int]:
         """Run seed-only columns of pending specs in numpy lockstep.
 
@@ -482,7 +500,10 @@ class Sweep:
         consumed-value recording, non-vectorizable workloads, no
         numpy), and columns whose lockstep execution failed — those
         fall back to per-spec execution, where the Session applies the
-        same engine directive with its own interp fallback.
+        same engine directive with its own interp fallback.  Every
+        fallen-back column is appended to ``fallbacks`` with its
+        reason; a fault that is *not* a declared ineligibility is
+        re-raised instead of masked when ``REPRO_ENGINE_STRICT=1``.
         """
         from ..engines import create_engine
         from .registry import get_workload
@@ -512,7 +533,7 @@ class Sweep:
                 remaining.extend(column)
                 continue
             try:
-                from ..engines.vector import execute_lanes
+                from ..engines.vector import VectorIneligible, execute_lanes
 
                 program = workload.build(spec.scale)
                 started = time.perf_counter()
@@ -520,9 +541,33 @@ class Sweep:
                     program, [specs[index].seed for index in column]
                 )
                 elapsed = (time.perf_counter() - started) / len(column)
-            except Exception:
-                # Engine choice may change speed, never outcomes: any
-                # lockstep failure falls back to per-spec execution.
+            except (VectorIneligible, ImportError) as exc:
+                # Declared ineligibility (op outside the envelope, numpy
+                # missing): engine choice may change speed, never
+                # outcomes, so the column quietly takes the per-spec
+                # path instead.
+                fallbacks.append({
+                    "workload": spec.workload,
+                    "specs": len(column),
+                    "kind": "ineligible",
+                    "reason": str(exc),
+                })
+                remaining.extend(column)
+                continue
+            except Exception as exc:
+                # Anything else is a real engine fault — the fallback
+                # keeps sweeps alive, but it must never silently mask a
+                # broken tier.  REPRO_ENGINE_STRICT=1 (set in CI's
+                # engine jobs) turns it into a hard failure; otherwise
+                # the reason is surfaced through --stats-json.
+                fallbacks.append({
+                    "workload": spec.workload,
+                    "specs": len(column),
+                    "kind": "fault",
+                    "reason": f"{type(exc).__name__}: {exc}",
+                })
+                if os.environ.get("REPRO_ENGINE_STRICT") == "1":
+                    raise
                 remaining.extend(column)
                 continue
             for index, state, instructions in zip(column, states, retired):

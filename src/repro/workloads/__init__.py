@@ -8,7 +8,12 @@ from .greeks import GreeksWorkload
 from .mc_integ import McIntegWorkload
 from .photon import PhotonWorkload
 from .pi import PiWorkload
-from .registry import all_workloads, get_workload, workload_names
+from .registry import (
+    all_workloads,
+    get_workload,
+    paper_workload_names,
+    workload_names,
+)
 from .swaptions import SwaptionsWorkload
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "PiWorkload",
     "all_workloads",
     "get_workload",
+    "paper_workload_names",
     "workload_names",
     "SwaptionsWorkload",
 ]

@@ -41,8 +41,11 @@ class Workload(abc.ABC):
     name: str = ""
     #: Human description for docs and reports.
     description: str = ""
-    #: Table II facts.
-    paper: PaperFacts = PaperFacts(0, 0, 1, "")
+    #: Table II facts — or ``None`` for ported kernels that join the
+    #: golden/differential corpus without appearing in any paper table
+    #: (those are excluded from
+    #: :func:`repro.sim.registry.paper_workload_names`).
+    paper: Optional[PaperFacts] = PaperFacts(0, 0, 1, "")
     #: Opt-in to the numpy lockstep tier (:mod:`repro.engines.vector`).
     #: Declares that the program is memory-, call- and normal-free and
     #: that its integer state fits in int64.

@@ -11,20 +11,28 @@ from __future__ import annotations
 
 from typing import List
 
-from ..sim.registry import all_workloads, get_workload, workload_names
+from ..sim.registry import (
+    all_workloads,
+    get_workload,
+    paper_workload_names,
+    workload_names,
+)
 from ..sim.registry import workload_class as _workload_class
 from .base import Workload
 
 # Importing the modules runs their @register_workload decorators.
 from . import (  # noqa: E402,F401  (import side effect)
     bandit,
+    bsearch,
     dop,
     genetic,
     greeks,
     mc_integ,
     photon,
     pi,
+    psum,
     swaptions,
+    utf8,
 )
 
 
@@ -42,6 +50,7 @@ __all__ = [
     "Workload",
     "all_workloads",
     "get_workload",
+    "paper_workload_names",
     "workload_classes",
     "workload_names",
 ]

@@ -44,7 +44,12 @@ def golden_specs() -> List[RunSpec]:
             mode=mode,
             predictors=GOLDEN_PREDICTORS,
         )
-        for workload, seed in (("pi", 1), ("dop", 1), ("mc-integ", 2))
+        for workload, seed in (
+            ("pi", 1), ("dop", 1), ("mc-integ", 2),
+            # Ported branchy kernels (not in any paper table) pin the
+            # DFA / scan / search control-flow shapes.
+            ("utf8", 1), ("psum", 1), ("bsearch", 1),
+        )
         for mode in ("base", "pbs")
     ]
     specs.append(

@@ -359,6 +359,73 @@ class TestEngineThreading:
         assert stats["engine_used"] == {"compiled": 3}
         assert stats["compiled_hits"] >= 2  # first point may compile
 
+    @needs_numpy
+    def test_clean_vector_sweep_reports_no_fallbacks(self):
+        grid = dict(workloads=["pi"], scales=[0.02], seeds=range(2),
+                    modes=["base"], predictors=[])
+        result = Sweep(**grid, engine="vector").run(executor="serial")
+        assert result.engine_fallbacks == []
+        assert result.to_stats()["engine_fallbacks"] is None
+
+    @needs_numpy
+    def test_vector_ineligibility_surfaces_in_stats(self, monkeypatch):
+        from repro.engines.vector import VectorIneligible
+
+        real = execute_lanes
+
+        def decline(program, seeds, **kwargs):
+            if len(seeds) > 1:  # only the sweep's lockstep columns
+                raise VectorIneligible("test decline")
+            return real(program, seeds, **kwargs)
+
+        monkeypatch.setattr("repro.engines.vector.execute_lanes", decline)
+        monkeypatch.setenv("REPRO_ENGINE_STRICT", "1")  # must NOT raise
+        grid = dict(workloads=["pi"], scales=[0.02], seeds=range(2),
+                    modes=["base"], predictors=[])
+        result = Sweep(**grid, engine="vector").run(executor="serial")
+        fallbacks = result.to_stats()["engine_fallbacks"]
+        assert fallbacks["count"] == 1
+        assert fallbacks["reasons"][0]["kind"] == "ineligible"
+        assert fallbacks["reasons"][0]["workload"] == "pi"
+        assert "test decline" in fallbacks["reasons"][0]["reason"]
+        # The per-spec path still produced interp-identical results.
+        interp = Sweep(**grid).run(executor="serial")
+        for a, b in zip(result, interp):
+            assert a.outputs == b.outputs
+
+    @needs_numpy
+    def test_vector_fault_is_surfaced_not_swallowed(self, monkeypatch):
+        real = execute_lanes
+
+        def explode(program, seeds, **kwargs):
+            if len(seeds) > 1:
+                raise RuntimeError("broken lane kernel")
+            return real(program, seeds, **kwargs)
+
+        monkeypatch.setattr("repro.engines.vector.execute_lanes", explode)
+        monkeypatch.delenv("REPRO_ENGINE_STRICT", raising=False)
+        grid = dict(workloads=["pi"], scales=[0.02], seeds=range(2),
+                    modes=["base"], predictors=[])
+        result = Sweep(**grid, engine="vector").run(executor="serial")
+        fallbacks = result.to_stats()["engine_fallbacks"]
+        assert fallbacks["count"] == 1
+        assert fallbacks["reasons"][0]["kind"] == "fault"
+        assert "RuntimeError: broken lane kernel" in (
+            fallbacks["reasons"][0]["reason"]
+        )
+
+    @needs_numpy
+    def test_strict_mode_reraises_engine_faults(self, monkeypatch):
+        def explode(program, seeds, **kwargs):
+            raise RuntimeError("broken lane kernel")
+
+        monkeypatch.setattr("repro.engines.vector.execute_lanes", explode)
+        monkeypatch.setenv("REPRO_ENGINE_STRICT", "1")
+        grid = dict(workloads=["pi"], scales=[0.02], seeds=range(2),
+                    modes=["base"], predictors=[])
+        with pytest.raises(RuntimeError, match="broken lane kernel"):
+            Sweep(**grid, engine="vector").run(executor="serial")
+
 
 # ---------------------------------------------------------------------------
 # Differential property test: random builder programs, interp vs compiled.

@@ -15,6 +15,7 @@ from repro.sim import (
     baseline_predictors,
     create_predictor,
     get_workload,
+    paper_workload_names,
     predictor_names,
     register_workload,
     workload_names,
@@ -27,9 +28,13 @@ SCALE = 0.05
 
 class TestRegistry:
     def test_table_ii_order(self):
-        assert workload_names() == [
+        assert paper_workload_names() == [
             "dop", "greeks", "swaptions", "genetic", "photon",
             "mc-integ", "pi", "bandit",
+        ]
+        # Ported corpus kernels list after the paper eight.
+        assert workload_names() == paper_workload_names() + [
+            "utf8", "psum", "bsearch",
         ]
 
     def test_unknown_workload_raises_with_listing(self):

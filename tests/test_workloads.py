@@ -1,4 +1,8 @@
-"""Tests for the eight paper benchmarks.
+"""Tests for the registered benchmarks.
+
+The first eight are the paper's Table II; the rest are ported kernels
+(``paper = None``) that join the golden/differential corpus without
+appearing in any paper table.
 
 The heaviest guarantee here is *bit-exact cross-validation*: every ISA
 program must produce exactly the outputs of its pure-Python reference for
@@ -13,6 +17,7 @@ from repro.functional.trace import ProbMode
 from repro.workloads import (
     all_workloads,
     get_workload,
+    paper_workload_names,
     workload_names,
 )
 from repro.workloads.mc_integ import TRUE_INTEGRAL
@@ -20,14 +25,21 @@ from repro.workloads.mc_integ import TRUE_INTEGRAL
 SMALL = 0.08  # scale used for per-test runs (a few thousand instructions)
 
 ALL_NAMES = workload_names()
+PAPER_NAMES = paper_workload_names()
+CORPUS_NAMES = [name for name in ALL_NAMES if name not in PAPER_NAMES]
 
 
 class TestRegistry:
     def test_paper_order(self):
-        assert ALL_NAMES == [
+        assert PAPER_NAMES == [
             "dop", "greeks", "swaptions", "genetic",
             "photon", "mc-integ", "pi", "bandit",
         ]
+
+    def test_corpus_kernels_list_after_paper(self):
+        assert ALL_NAMES == PAPER_NAMES + ["utf8", "psum", "bsearch"]
+        for name in CORPUS_NAMES:
+            assert get_workload(name).paper is None
 
     def test_get_workload(self):
         assert get_workload("pi").name == "pi"
@@ -37,7 +49,7 @@ class TestRegistry:
             get_workload("doom")
 
     def test_all_workloads_instances(self):
-        assert len(all_workloads()) == 8
+        assert len(all_workloads()) == len(ALL_NAMES) == 11
 
 
 class TestPaperFacts:
@@ -62,7 +74,7 @@ class TestPaperFacts:
         assert facts.total_branches == total
         assert facts.category == category
 
-    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("name", PAPER_NAMES)
     def test_static_prob_branches_match_paper(self, name):
         """Our programs mark exactly the paper's probabilistic branches."""
         workload = get_workload(name)
