@@ -12,6 +12,12 @@ beyond ``--threshold``.  The comparison is **non-gating** by default —
 CI runners and developer machines differ, so the numbers inform rather
 than block; pass ``--gate`` to turn regressions into a non-zero exit.
 
+After the full table, a **hot-path trajectory** section restates the
+sink-fed benchmarks (with-sink executors, harness feed, trace capture
+and replay) as baseline-over-current speedups — the rows the columnar
+event pipeline is meant to move, surfaced so they are not lost in the
+alphabetical listing.
+
 New benchmarks (present in the current run, absent from the baseline)
 and retired ones are reported but never warned about.
 """
@@ -23,6 +29,12 @@ import json
 import sys
 
 
+#: Substrings selecting the sink-fed hot-path rows for the trajectory
+#: section: every benchmark whose event stream crosses a sink.
+TRAJECTORY_MARKERS = ("with_sink", "with_legacy_sink", "with_harness",
+                      "trace_capture", "trace_replay")
+
+
 def load_means(path: str) -> dict:
     with open(path) as handle:
         data = json.load(handle)
@@ -30,6 +42,30 @@ def load_means(path: str) -> dict:
         bench["name"]: bench["stats"]["mean"]
         for bench in data.get("benchmarks", [])
     }
+
+
+def print_trajectory(baseline: dict, current: dict) -> None:
+    """The with-sink rows as speedups (baseline mean / current mean)."""
+    rows = sorted(
+        name for name in baseline | current
+        if any(marker in name for marker in TRAJECTORY_MARKERS)
+    )
+    if not rows:
+        return
+    width = max(len(name) for name in rows)
+    print()
+    print("hot-path trajectory (sink-fed benchmarks, baseline/current):")
+    for name in rows:
+        base = baseline.get(name)
+        now = current.get(name)
+        if base is None or now is None or not now:
+            status = "(new)" if base is None else "(retired)"
+            print(f"  {name:{width}s}  {status}")
+            continue
+        print(
+            f"  {name:{width}s}  {base:12.6f} -> {now:12.6f}"
+            f"  {base / now:5.2f}x"
+        )
 
 
 def main(argv=None) -> int:
@@ -67,6 +103,8 @@ def main(argv=None) -> int:
             marker = "  <-- REGRESSION"
             regressions.append((name, ratio))
         print(f"{name:{width}s}  {base:12.6f}  {now:12.6f}  {ratio:5.2f}{marker}")
+
+    print_trajectory(baseline, current)
 
     for name, ratio in regressions:
         print(

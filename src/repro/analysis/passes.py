@@ -27,7 +27,7 @@ import math
 from collections import Counter
 from typing import Dict, Optional, Sequence
 
-from ..functional.trace import ProbMode
+from ..functional.trace import ProbMode, TraceEvent
 from ..isa.opcodes import OpClass
 from .base import AnalysisPass, register_analysis
 
@@ -270,6 +270,59 @@ class MispredictBreakdown(AnalysisPass):
         else:
             for harness in self.harnesses.values():
                 harness(event)
+
+    def consume_batch(self, batch) -> None:
+        """Columnar fast path, bit-identical to the per-event walk.
+
+        Non-branch rows only bump every harness's instruction counter,
+        so they are accounted in bulk; branch rows (sparse — found with
+        a C-level column scan) keep the exact per-event attribution
+        semantics, including each harness's own predict/update order.
+        """
+        conds = batch.conds
+        n = len(conds)
+        find = conds.index
+        branch_rows = []
+        i = 0
+        while True:
+            try:
+                i = find(True, i)
+            except ValueError:
+                break
+            branch_rows.append(i)
+            i += 1
+        bulk = n - len(branch_rows)
+        harness_items = list(self.harnesses.items())
+        for _, harness in harness_items:
+            harness.stats.instructions += bulk
+        if not branch_rows:
+            return
+        pcs = batch.pcs
+        executions = self.executions
+        per_pc = self.per_pc
+        make = TraceEvent
+        for i in branch_rows:
+            pc = pcs[i]
+            event = make(
+                pc,
+                batch.ops[i],
+                batch.classes[i],
+                batch.dests[i],
+                batch.srcs[i],
+                is_cond_branch=True,
+                taken=batch.takens[i],
+                target=batch.targets[i],
+                next_pc=batch.next_pcs[i],
+                addr=batch.addrs[i],
+                is_store=batch.stores[i],
+                prob_mode=batch.prob_modes[i],
+            )
+            executions[pc] += 1
+            for name, harness in harness_items:
+                before = harness.stats.mispredicts
+                harness(event)
+                if harness.stats.mispredicts != before:
+                    per_pc[name][pc] += 1
 
     def result(self) -> Dict:
         payload = {}

@@ -17,6 +17,16 @@ class BranchPredictor(abc.ABC):
     #: Perfect predictors short-circuit the harness (never mispredict).
     perfect = False
 
+    #: Vectorized-update opt-in for the columnar harness path.  A
+    #: predictor whose prediction is a constant independent of pc and
+    #: history *and* whose ``update``/``insert_history`` are no-ops may
+    #: declare that constant here; :meth:`PredictorHarness.consume_batch`
+    #: then tallies its mispredicts arithmetically over the batch columns
+    #: instead of calling ``predict``/``update`` per branch.  Stateful
+    #: (serial) predictors such as the TAGE family leave this ``None``
+    #: and get the allocation-free array walk instead.
+    static_prediction = None
+
     @property
     @abc.abstractmethod
     def name(self) -> str:

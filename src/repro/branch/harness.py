@@ -144,6 +144,88 @@ class PredictorHarness:
             if mispredicted:
                 stats.regular_mispredicts += 1
 
+    def consume_batch(self, batch) -> None:
+        """Columnar fast path: consume an :class:`EventBatch`.
+
+        Bit-identical to feeding every event through :meth:`__call__`,
+        but walks the batch's parallel arrays directly — no TraceEvent
+        construction, no per-event call crossing, all hot lookups
+        hoisted out of the loop.  Only conditional-branch rows are
+        visited (``conds.index(True, i)`` is a C-level scan).
+        """
+        stats = self.stats
+        conds = batch.conds
+        n = len(conds)
+        stats.instructions += n
+
+        predictor = self.predictor
+        perfect = predictor.perfect
+        filter_prob = self.filter_probabilistic
+        inserts = self.pbs_inserts_history
+        static_prediction = None if perfect else predictor.static_prediction
+        predict = predictor.predict
+        update = predictor.update
+        insert_history = predictor.insert_history
+        pcs = batch.pcs
+        takens = batch.takens
+        prob_modes = batch.prob_modes
+        find = conds.index
+        PBS_HIT = ProbMode.PBS_HIT
+        PREDICTED = ProbMode.PREDICTED
+
+        regular_branches = 0
+        regular_mispredicts = 0
+        prob_branches = 0
+        prob_mispredicts = 0
+        pbs_hits = 0
+
+        i = 0
+        while True:
+            try:
+                i = find(True, i)
+            except ValueError:
+                break
+            prob_mode = prob_modes[i]
+            taken = takens[i]
+            if prob_mode == PBS_HIT:
+                pbs_hits += 1
+                if inserts:
+                    insert_history(pcs[i], taken)
+            elif prob_mode == PREDICTED and filter_prob:
+                prob_branches += 1
+                if taken:
+                    prob_mispredicts += 1
+            elif perfect:
+                if prob_mode == PREDICTED:
+                    prob_branches += 1
+                else:
+                    regular_branches += 1
+            else:
+                if static_prediction is None:
+                    prediction = predict(pcs[i])
+                    update(pcs[i], taken)
+                else:
+                    # Vectorized-update kernel: the predictor declared a
+                    # constant prediction and a no-op update, so the
+                    # table calls fold away entirely.
+                    prediction = static_prediction
+                mispredicted = prediction != taken
+                if prob_mode == PREDICTED:
+                    prob_branches += 1
+                    if mispredicted:
+                        prob_mispredicts += 1
+                else:
+                    regular_branches += 1
+                    if mispredicted:
+                        regular_mispredicts += 1
+            i += 1
+
+        stats.regular_branches += regular_branches
+        stats.regular_mispredicts += regular_mispredicts
+        stats.prob_branches += prob_branches
+        stats.prob_mispredicts += prob_mispredicts
+        stats.pbs_hits += pbs_hits
+
 
 def measure_mpki(
     events,

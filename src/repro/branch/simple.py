@@ -12,6 +12,7 @@ from .base import BranchPredictor, saturating_update
 
 class AlwaysTaken(BranchPredictor):
     name = "always-taken"
+    static_prediction = True
 
     def predict(self, pc: int) -> bool:
         return True
@@ -28,6 +29,7 @@ class AlwaysTaken(BranchPredictor):
 
 class AlwaysNotTaken(BranchPredictor):
     name = "always-not-taken"
+    static_prediction = False
 
     def predict(self, pc: int) -> bool:
         return False

@@ -226,6 +226,32 @@ def _compare_at_barrier(
             lambda s: [s.rng_state()] if s.compares_rng else ref_rng,
         )
 
+    # Sink-attached mode: each tier fed a fresh predictor harness, so
+    # the batch pipeline itself is under the lockstep contract — every
+    # tally counter must agree at every barrier.
+    ref_sink = reference.sink_stats()
+    if ref_sink is not None:
+        for stepper in steppers[1:]:
+            if len(deltas) >= MAX_DELTAS:
+                break
+            theirs = stepper.sink_stats()
+            if theirs is None:
+                continue
+            for key in ref_sink:
+                if ref_sink[key] != theirs.get(key):
+                    deltas.append(
+                        {
+                            "field": "sink",
+                            "index": key,
+                            "values": {
+                                reference.name: repr(ref_sink[key]),
+                                stepper.name: repr(theirs.get(key)),
+                            },
+                        }
+                    )
+                    if len(deltas) >= MAX_DELTAS:
+                        break
+
     # Output channels: compare as flattened (channel, position) cells.
     ref_out = reference.outputs()
     for stepper in steppers[1:]:
@@ -276,6 +302,7 @@ def diff_tiers(
     seed: int = 0,
     max_instructions: int = DIFF_MAX_INSTRUCTIONS,
     stride: int = 1,
+    predictor: Optional[str] = None,
 ) -> Optional[Divergence]:
     """Co-execute ``program`` on every tier in ``tiers`` and return the
     first divergence, or ``None`` when all tiers agree to completion.
@@ -285,6 +312,14 @@ def diff_tiers(
     :data:`~repro.diff.steppers.STEPPERS`; constructing an ineligible
     tier (e.g. ``"vector"`` on a memory-touching program) raises
     :class:`~repro.engines.vector.VectorIneligible` — filter upstream.
+
+    ``predictor`` names a registered branch predictor to ride every
+    tier as an attached sink (a fresh
+    :class:`~repro.branch.PredictorHarness` each): the batch-fed tally
+    counters are then compared at every barrier, putting the columnar
+    event pipeline itself under the lockstep contract.  Only
+    sink-capable tiers (``interp``, ``compiled``) may be combined with
+    it.
 
     A consistent fault — every tier raising the same exception type with
     the same message at the same retired count — is agreement, not a
@@ -300,10 +335,28 @@ def diff_tiers(
     if stride < 1:
         raise ValueError("stride must be >= 1")
 
-    steppers = [
-        STEPPERS[t](program, seed=seed, max_instructions=max_instructions)
-        for t in tiers
-    ]
+    if predictor is not None:
+        from ..branch import PredictorHarness
+        from ..sim.registry import create_predictor
+
+        sinkless = [t for t in tiers if not STEPPERS[t].supports_sink]
+        if sinkless:
+            raise ValueError(
+                f"tiers {sinkless} cannot carry an attached sink; "
+                f"sink-attached lockstep needs sink-capable tiers only"
+            )
+        steppers = [
+            STEPPERS[t](
+                program, seed=seed, max_instructions=max_instructions,
+                sink=PredictorHarness(create_predictor(predictor)),
+            )
+            for t in tiers
+        ]
+    else:
+        steppers = [
+            STEPPERS[t](program, seed=seed, max_instructions=max_instructions)
+            for t in tiers
+        ]
     reference = steppers[0]
 
     barrier = 0
@@ -330,6 +383,7 @@ def diff_tiers(
                     seed=seed,
                     max_instructions=max_instructions,
                     stride=1,
+                    predictor=predictor,
                 )
             text, pc = _diverging_instruction(program, last_pc)
             return Divergence(
@@ -357,6 +411,7 @@ def diff_tiers(
                     seed=seed,
                     max_instructions=max_instructions,
                     stride=1,
+                    predictor=predictor,
                 )
             return divergence
 

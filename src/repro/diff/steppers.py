@@ -47,10 +47,20 @@ class Stepper:
     compares_memory = True
     compares_rng = True
     compares_outputs = True
+    #: Whether the tier can carry an attached trace sink through
+    #: ``step_to`` (the sink-attached lockstep mode: a fresh
+    #: :class:`~repro.branch.PredictorHarness` per tier, tallies
+    #: compared at every barrier).
+    supports_sink = False
 
     def step_to(self, target: int) -> None:
         """Advance until ``retired == target``, HALT, or the limit."""
         raise NotImplementedError
+
+    def sink_stats(self) -> "Dict | None":
+        """The attached sink's tally as a plain dict, or ``None`` when
+        no comparable sink rides this tier."""
+        return None
 
     @property
     def halted(self) -> bool:
@@ -82,17 +92,26 @@ class _ExecutorStepper(Stepper):
     (the interpreter and the compiled tier's step variant)."""
 
     executor_class: type = None
+    supports_sink = True
 
     def __init__(self, program, seed: int = 0,
-                 max_instructions: int = DIFF_MAX_INSTRUCTIONS):
+                 max_instructions: int = DIFF_MAX_INSTRUCTIONS,
+                 sink=None):
         self._ex = self.executor_class(
             program, seed=seed, max_instructions=max_instructions
         )
+        self._sink = sink
 
     def step_to(self, target: int) -> None:
         budget = target - self._ex.retired
         if budget > 0 and not self._ex.halted:
-            self._ex.run(budget=budget)
+            self._ex.run(sink=self._sink, budget=budget)
+
+    def sink_stats(self):
+        stats = getattr(self._sink, "stats", None)
+        if stats is None:
+            return None
+        return stats.as_dict()
 
     @property
     def halted(self) -> bool:

@@ -324,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="report divergences without minimizing the program",
     )
     diff_parser.add_argument(
+        "--predictor", type=str, default=None, metavar="NAME",
+        help="sink-attached lockstep: ride a fresh harness of this "
+             "registered predictor on every tier and compare the "
+             "batch-fed tally at each barrier (sink-capable tiers "
+             "only: interp, compiled)",
+    )
+    diff_parser.add_argument(
         "--workloads", type=_csv, default=None,
         help="also lockstep these registered workloads ('all' = every "
              "one) at --scale",
@@ -760,6 +767,16 @@ def _cmd_diff(args) -> int:
         print("error: --tiers needs at least two tiers", file=sys.stderr)
         return 2
     limit = args.max_instructions or DIFF_MAX_INSTRUCTIONS
+    if args.predictor is not None:
+        sinkless = [
+            t for t in args.tiers if not STEPPERS[t].supports_sink
+        ]
+        if sinkless:
+            print(f"error: --predictor cannot ride tier(s) "
+                  f"{', '.join(sinkless)}; sink-attached lockstep needs "
+                  f"sink-capable tiers only (interp, compiled)",
+                  file=sys.stderr)
+            return 2
     want_vector = "vector" in args.tiers
     vector_available = True
     if want_vector:
@@ -778,6 +795,7 @@ def _cmd_diff(args) -> int:
         return diff_tiers(
             program, tiers, seed=seed,
             max_instructions=limit, stride=args.stride,
+            predictor=args.predictor,
         )
 
     for index in range(args.programs):
@@ -808,6 +826,7 @@ def _cmd_diff(args) -> int:
                     return diff_tiers(
                         build_program(candidate), tiers, seed=seed,
                         max_instructions=limit,
+                        predictor=args.predictor,
                     ) is not None
                 except VectorIneligible:
                     return False
@@ -816,6 +835,7 @@ def _cmd_diff(args) -> int:
             minimized = diff_tiers(
                 build_program(small), tiers, seed=seed,
                 max_instructions=limit,
+                predictor=args.predictor,
             )
             entry["minimized"] = {
                 "iters": small.iters,
@@ -866,6 +886,7 @@ def _cmd_diff(args) -> int:
         "checked": checked,
         "tiers": list(args.tiers),
         "stride": args.stride,
+        "predictor": args.predictor,
         "vector_available": vector_available if want_vector else None,
         "vector_skipped": vector_skipped if want_vector else 0,
         "workloads": workload_reports,

@@ -11,7 +11,7 @@ from .executor import (
 )
 from .rng import Drand48, RecordingRng
 from .state import MachineState, MemoryFault
-from .trace import ProbMode, TraceEvent
+from .trace import EventBatch, ProbMode, TraceEvent
 
 __all__ = [
     "ExecutionError",
@@ -25,6 +25,7 @@ __all__ = [
     "RecordingRng",
     "MachineState",
     "MemoryFault",
+    "EventBatch",
     "ProbMode",
     "TraceEvent",
 ]

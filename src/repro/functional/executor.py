@@ -25,7 +25,13 @@ from ..isa.program import Program
 from ..isa.registers import COND_REG_NUM, Reg
 from .rng import Drand48
 from .state import MachineState
-from .trace import ProbMode, TraceEvent
+from .trace import EventBatch, ProbMode, TraceEvent
+
+#: Interpreter flush granularity for the columnar sink path: a batch is
+#: delivered every this-many retired instructions (and at every pause,
+#: HALT or fault, so batch-capable sinks observe exactly the events a
+#: per-event sink would have seen by the time ``run()`` returns).
+BATCH_CHUNK = 1024
 
 Sink = Callable[[TraceEvent], None]
 
@@ -228,6 +234,28 @@ class Executor:
         decoded = self._decoded
         if decoded is None:
             decoded = self._decoded = self._decode(program.instructions)
+
+        # Columnar sink path: sinks that declare ``consume_batch``
+        # receive EventBatch chunks instead of per-event calls.  Plain
+        # callables keep the exact legacy per-event emission below.
+        consume_batch = getattr(sink, "consume_batch", None) if emit else None
+        batching = consume_batch is not None
+        if batching:
+            batch = EventBatch()
+            b_pc = batch.pcs.append
+            b_op = batch.ops.append
+            b_cls = batch.classes.append
+            b_dest = batch.dests.append
+            b_srcs = batch.srcs.append
+            b_cond = batch.conds.append
+            b_taken = batch.takens.append
+            b_target = batch.targets.append
+            b_next = batch.next_pcs.append
+            b_addr = batch.addrs.append
+            b_store = batch.stores.append
+            b_prob = batch.prob_modes.append
+            batch_fill = 0
+            chunk = BATCH_CHUNK
 
         # Hoisted globals/builtins: every name below is read once here
         # instead of per retired instruction.
@@ -549,11 +577,25 @@ class Executor:
                     retired += 1
                     self._halted = True
                     if emit:
-                        sink(
-                            make_event(
-                                pc, op, op_class[op], -1, (), next_pc=pc + 1
+                        if batching:
+                            b_pc(pc)
+                            b_op(op)
+                            b_cls(op_class[op])
+                            b_dest(-1)
+                            b_srcs(())
+                            b_cond(False)
+                            b_taken(False)
+                            b_target(None)
+                            b_next(pc + 1)
+                            b_addr(None)
+                            b_store(False)
+                            b_prob(NOT_PROB)
+                        else:
+                            sink(
+                                make_event(
+                                    pc, op, op_class[op], -1, (), next_pc=pc + 1
+                                )
                             )
-                        )
                     break
                 else:  # pragma: no cover - all opcodes handled above
                     raise ExecutionError(f"{program.name}@{pc}: unhandled {op.name}")
@@ -562,22 +604,41 @@ class Executor:
                     pbs.observe_branch(pc, taken, target)
 
                 if emit:
-                    sink(
-                        make_event(
-                            pc,
-                            op,
-                            op_class[op],
-                            dest,
-                            trace_srcs,
-                            is_cond_branch=is_branch,
-                            taken=taken,
-                            target=target,
-                            next_pc=next_pc,
-                            addr=addr,
-                            is_store=is_store,
-                            prob_mode=prob_mode,
+                    if batching:
+                        b_pc(pc)
+                        b_op(op)
+                        b_cls(op_class[op])
+                        b_dest(dest)
+                        b_srcs(trace_srcs)
+                        b_cond(is_branch)
+                        b_taken(taken)
+                        b_target(target)
+                        b_next(next_pc)
+                        b_addr(addr)
+                        b_store(is_store)
+                        b_prob(prob_mode)
+                        batch_fill += 1
+                        if batch_fill >= chunk:
+                            consume_batch(batch)
+                            batch.clear()
+                            batch_fill = 0
+                    else:
+                        sink(
+                            make_event(
+                                pc,
+                                op,
+                                op_class[op],
+                                dest,
+                                trace_srcs,
+                                is_cond_branch=is_branch,
+                                taken=taken,
+                                target=target,
+                                next_pc=next_pc,
+                                addr=addr,
+                                is_store=is_store,
+                                prob_mode=prob_mode,
+                            )
                         )
-                    )
 
                 retired += 1
                 pc = next_pc
@@ -587,6 +648,13 @@ class Executor:
             self.retired = retired
             self._pc = pc
             self._pending_cmp = pending_cmp
+            # Deliver any buffered columnar tail.  Runs on every exit —
+            # budget pause, HALT, limit overrun or fault — so the batch
+            # sink has seen exactly the retired-instruction stream a
+            # per-event sink would have by the time control returns.
+            if batching and batch.pcs:
+                consume_batch(batch)
+                batch.clear()
 
         return state
 

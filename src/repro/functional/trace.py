@@ -82,3 +82,129 @@ class TraceEvent:
             elif self.prob_mode == ProbMode.PBS_HIT:
                 extra += " pbs-hit"
         return f"<ev pc={self.pc} op={self.op}{extra}>"
+
+
+class EventBatch:
+    """A columnar run of retired instructions (structure of arrays).
+
+    Producers (the pre-decoded interpreter, the compiled tier, trace
+    replay) fill the parallel column lists and hand the batch to a sink
+    that declares a ``consume_batch`` method.  Column ``i`` across all
+    twelve lists describes the same retired instruction that a
+    :class:`TraceEvent` would, field for field — batching changes how
+    events travel, never what they say.
+
+    Ownership contract: the producer may reuse the batch object (via
+    :meth:`clear`) as soon as ``consume_batch`` returns, so consumers
+    must not retain references to the batch or its columns.
+    """
+
+    __slots__ = (
+        "pcs",
+        "ops",
+        "classes",
+        "dests",
+        "srcs",
+        "conds",
+        "takens",
+        "targets",
+        "next_pcs",
+        "addrs",
+        "stores",
+        "prob_modes",
+    )
+
+    def __init__(self):
+        self.pcs = []
+        self.ops = []
+        self.classes = []
+        self.dests = []
+        self.srcs = []
+        self.conds = []
+        self.takens = []
+        self.targets = []
+        self.next_pcs = []
+        self.addrs = []
+        self.stores = []
+        self.prob_modes = []
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def clear(self) -> None:
+        self.pcs.clear()
+        self.ops.clear()
+        self.classes.clear()
+        self.dests.clear()
+        self.srcs.clear()
+        self.conds.clear()
+        self.takens.clear()
+        self.targets.clear()
+        self.next_pcs.clear()
+        self.addrs.clear()
+        self.stores.clear()
+        self.prob_modes.clear()
+
+    def append_event(self, event: "TraceEvent") -> None:
+        """Append one per-event record (used by adapters and tests)."""
+        self.pcs.append(event.pc)
+        self.ops.append(event.op)
+        self.classes.append(event.op_class)
+        self.dests.append(event.dest)
+        self.srcs.append(event.srcs)
+        self.conds.append(event.is_cond_branch)
+        self.takens.append(event.taken)
+        self.targets.append(event.target)
+        self.next_pcs.append(event.next_pc)
+        self.addrs.append(event.addr)
+        self.stores.append(event.is_store)
+        self.prob_modes.append(event.prob_mode)
+
+    def events(self):
+        """Explode the batch into :class:`TraceEvent` objects.
+
+        This is the compatibility adapter for legacy per-event sinks: a
+        batch-producing tier can keep any plain callable working by
+        iterating this generator and calling ``sink(event)``.
+        """
+        make = TraceEvent
+        for i in range(len(self.pcs)):
+            yield make(
+                self.pcs[i],
+                self.ops[i],
+                self.classes[i],
+                self.dests[i],
+                self.srcs[i],
+                is_cond_branch=self.conds[i],
+                taken=self.takens[i],
+                target=self.targets[i],
+                next_pc=self.next_pcs[i],
+                addr=self.addrs[i],
+                is_store=self.stores[i],
+                prob_mode=self.prob_modes[i],
+            )
+
+    @classmethod
+    def from_events(cls, events) -> "EventBatch":
+        batch = cls()
+        for event in events:
+            batch.append_event(event)
+        return batch
+
+    def deliver(self, sink) -> bool:
+        """Hand the batch to ``sink``, batched if it opts in.
+
+        Returns ``True`` when the sink consumed the batch columnar-ly
+        (it declared ``consume_batch``), ``False`` when the batch was
+        exploded into per-event calls for a legacy callable.
+        """
+        consume = getattr(sink, "consume_batch", None)
+        if consume is not None:
+            consume(self)
+            return True
+        for event in self.events():
+            sink(event)
+        return False
+
+    def __repr__(self) -> str:
+        return f"<EventBatch n={len(self.pcs)}>"

@@ -260,6 +260,12 @@ class _WorkerTCPServer(socketserver.ThreadingTCPServer):
 class _ConnectionHandler(socketserver.StreamRequestHandler):
     """One client connection: handshake, then a run/result stream."""
 
+    # The protocol writes one small framed message at a time and always
+    # flushes; with Nagle on, a result frame written while the previous
+    # one is still unacknowledged sits behind the peer's delayed-ACK
+    # timer (~40ms on Linux) — a latency cliff, even on loopback.
+    disable_nagle_algorithm = True
+
     def handle(self):
         worker: WorkerServer = self.server.owner
         write_lock = threading.Lock()
@@ -1005,9 +1011,13 @@ class _WorkerClient(threading.Thread):
             if self.state.stopped():
                 return None
             try:
-                return socket.create_connection(
+                sock = socket.create_connection(
                     self.address, timeout=self.executor.timeout
                 )
+                # Framed request/response traffic: Nagle + delayed ACK
+                # would stall back-to-back small frames (~40ms each).
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
             except OSError:
                 if attempt + 1 < self.executor.connect_attempts:
                     time.sleep(delay)
@@ -1443,6 +1453,9 @@ class CoordinatorWorker(_SimulationHost):
     def _connect(self) -> None:
         sock = socket.create_connection(self.coordinator, timeout=self.timeout)
         sock.settimeout(None)  # blocking reads; stop() severs the socket
+        # Same framed-message traffic as the remote protocol: defeat the
+        # Nagle/delayed-ACK stall on small back-to-back frames.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         rfile = sock.makefile("rb")
         wfile = sock.makefile("wb")
         frame = {

@@ -40,14 +40,66 @@ DEFAULT_SEED = 1
 
 
 class FanOut:
-    """Fans one trace event stream out to several consumers."""
+    """Fans one trace event stream out to several consumers.
+
+    When at least one member speaks the columnar protocol
+    (:class:`~repro.functional.EventBatch` via ``consume_batch``), the
+    fan-out declares ``consume_batch`` itself so batch-producing
+    engines hand it whole batches: columnar members receive the batch
+    directly, and legacy per-event callables get the rows exploded to
+    :class:`~repro.functional.TraceEvent` objects — once per batch,
+    shared across all of them.  ``batches`` counts batches received;
+    ``fallbacks`` counts the ones that needed an explosion.  An
+    all-legacy fan-out exposes no ``consume_batch``, keeping producers
+    on the exact per-event path.
+    """
 
     def __init__(self, sinks: Sequence[Callable]):
         self.sinks = list(sinks)
+        self._columnar = [
+            consume
+            for consume in (
+                getattr(sink, "consume_batch", None) for sink in self.sinks
+            )
+            if consume is not None
+        ]
+        self._legacy = [
+            sink for sink in self.sinks
+            if getattr(sink, "consume_batch", None) is None
+        ]
+        self.batches = 0
+        self.fallbacks = 0
+        if self._columnar:
+            # Conditional instance attribute: producers probe with
+            # getattr, so an all-legacy fan-out must not look columnar.
+            self.consume_batch = self._consume_batch
 
     def __call__(self, event) -> None:
         for sink in self.sinks:
             sink(event)
+
+    def _consume_batch(self, batch) -> None:
+        self.batches += 1
+        for consume in self._columnar:
+            consume(batch)
+        legacy = self._legacy
+        if legacy:
+            self.fallbacks += 1
+            if len(legacy) == 1:
+                only = legacy[0]
+                for event in batch.events():
+                    only(event)
+            else:
+                for event in batch.events():
+                    for sink in legacy:
+                        sink(event)
+
+    def legacy_names(self) -> List[str]:
+        """Display names of the members that force per-event explosion."""
+        return [
+            getattr(sink, "__qualname__", None) or type(sink).__name__
+            for sink in self._legacy
+        ]
 
 
 @dataclass
@@ -293,8 +345,17 @@ class Session:
             # executor's semantics do not depend on the flag.
             record_consumed = True
         sink = None
+        sink_tap = None
         if consumers:
-            sink = consumers[0] if len(consumers) == 1 else FanOut(consumers)
+            if (
+                len(consumers) == 1
+                and getattr(consumers[0], "consume_batch", None) is None
+            ):
+                # A lone legacy callable keeps the direct per-event
+                # path — no wrapper, no per-event indirection.
+                sink = consumers[0]
+            else:
+                sink = sink_tap = FanOut(consumers)
 
         tier = self._resolve_engine(
             workload,
@@ -356,6 +417,11 @@ class Session:
         if tier is not None:
             result.engine_used = tier.name
             result.compiled_hit = tier.last_cache_hit
+        if sink_tap is not None:
+            result.sink_batches = sink_tap.batches
+            result.sink_fallbacks = sink_tap.fallbacks
+            if sink_tap.fallbacks:
+                result.sink_fallback_consumers = sink_tap.legacy_names()
         return result
 
     def _resolve_engine(self, workload, *, sink: bool, record_consumed: bool):
@@ -389,10 +455,15 @@ class Session:
         self.workload_run = None
 
         started = time.perf_counter()
-        if len(consumers) == 1:
+        sink_tap = None
+        if (
+            len(consumers) == 1
+            and getattr(consumers[0], "consume_batch", None) is None
+        ):
             reader.replay(consumers[0])
         elif consumers:
-            reader.replay(FanOut(consumers))
+            sink_tap = FanOut(consumers)
+            reader.replay(sink_tap)
         # No consumers: everything the result needs is in the metadata,
         # so the event stream is not even decompressed.
         wall_time = time.perf_counter() - started
@@ -413,6 +484,11 @@ class Session:
             ),
         )
         result.trace_origin = "replay"
+        if sink_tap is not None:
+            result.sink_batches = sink_tap.batches
+            result.sink_fallbacks = sink_tap.fallbacks
+            if sink_tap.fallbacks:
+                result.sink_fallback_consumers = sink_tap.legacy_names()
         return result
 
     def _resolved_pbs_config(self) -> Optional[Dict]:

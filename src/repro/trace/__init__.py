@@ -28,6 +28,7 @@ from .format import (
     pack_event,
     read_meta,
     unpack_events,
+    unpack_events_batch,
 )
 from .store import (
     TraceCapture,
@@ -45,6 +46,7 @@ __all__ = [
     "pack_event",
     "read_meta",
     "unpack_events",
+    "unpack_events_batch",
     "TraceCapture",
     "TraceStore",
     "resolved_pbs_config",

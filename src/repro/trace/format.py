@@ -32,7 +32,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
-from ..functional.trace import TraceEvent
+from ..functional.trace import EventBatch, TraceEvent
 from ..isa.opcodes import OP_CLASS, Op
 
 #: Bump on any incompatible change to the framing or event packing.
@@ -150,6 +150,64 @@ def unpack_events(buffer: bytes) -> Iterator[TraceEvent]:
         raise TraceFormatError(f"corrupt event frame: {exc!r}") from None
 
 
+def unpack_events_batch(buffer: bytes, batch: EventBatch) -> None:
+    """Decode one event frame's payload into batch columns.
+
+    Field-identical to :func:`unpack_events`, minus the per-event
+    TraceEvent construction — replay's columnar fast path.
+    """
+    unpack_event = _EVENT.unpack_from
+    unpack_u32 = _U32.unpack_from
+    ops = _OP_BY_VALUE
+    classes = _CLASS_BY_VALUE
+    b_pc = batch.pcs.append
+    b_op = batch.ops.append
+    b_cl = batch.classes.append
+    b_de = batch.dests.append
+    b_sr = batch.srcs.append
+    b_co = batch.conds.append
+    b_tk = batch.takens.append
+    b_tg = batch.targets.append
+    b_nx = batch.next_pcs.append
+    b_ad = batch.addrs.append
+    b_st = batch.stores.append
+    b_pm = batch.prob_modes.append
+    offset = 0
+    end = len(buffer)
+    try:
+        while offset < end:
+            pc, op_value, flags, dest, nsrcs = unpack_event(buffer, offset)
+            offset += 8
+            srcs = tuple(buffer[offset:offset + nsrcs])
+            if len(srcs) != nsrcs:
+                raise TraceFormatError("corrupt event frame: truncated sources")
+            offset += nsrcs
+            if flags & F_TARGET:
+                target = unpack_u32(buffer, offset)[0]
+                offset += 4
+            else:
+                target = None
+            if flags & F_ADDR:
+                addr = unpack_u32(buffer, offset)[0]
+                offset += 4
+            else:
+                addr = None
+            b_pc(pc)
+            b_op(ops[op_value])
+            b_cl(classes[op_value])
+            b_de(dest)
+            b_sr(srcs)
+            b_co(True if flags & F_COND else False)
+            b_tk(True if flags & F_TAKEN else False)
+            b_tg(target)
+            b_nx(target if flags & F_NEXT_IS_TARGET else pc + 1)
+            b_ad(addr)
+            b_st(True if flags & F_STORE else False)
+            b_pm(flags >> PROB_SHIFT)
+    except (struct.error, KeyError) as exc:
+        raise TraceFormatError(f"corrupt event frame: {exc!r}") from None
+
+
 class TraceWriter:
     """Streams packed events into a trace file; usable directly as a sink.
 
@@ -157,6 +215,11 @@ class TraceWriter:
     one frame regardless of trace length.  Call :meth:`finalize` with
     the run metadata to write the metadata frame and trailer; an
     unfinalized file is unreadable by design (no trailer magic).
+
+    The writer speaks both sink protocols: per-event (it is callable)
+    and columnar (:meth:`consume_batch` packs records straight from
+    :class:`EventBatch` columns, caching the packed bytes per
+    ``(pc, flags, target)`` so steady-state capture re-packs nothing).
     """
 
     def __init__(
@@ -171,6 +234,9 @@ class TraceWriter:
         self.events = 0
         self._buffer: list = []
         self._buffered = 0
+        #: (pc, flags, target) -> packed record bytes (sans addr tail).
+        #: Valid because op/dest/srcs are static per pc within one run.
+        self._pack_cache: Dict[tuple, bytes] = {}
         self._handle = open(self.path, "wb")
         flags = HEADER_FLAG_ZLIB if compress else 0
         self._handle.write(_HEADER.pack(MAGIC, FORMAT_VERSION, flags))
@@ -183,6 +249,80 @@ class TraceWriter:
         self._buffered += 1
         if self._buffered >= self.events_per_frame:
             self._flush_frame()
+
+    def consume_batch(self, batch: EventBatch) -> None:
+        """Columnar capture: pack a batch without building TraceEvents.
+
+        Byte-identical to calling the writer per event — same records,
+        same frame boundaries (frames flush on the same event counts).
+        """
+        pcs = batch.pcs
+        ops = batch.ops
+        dests = batch.dests
+        srcs_col = batch.srcs
+        conds = batch.conds
+        takens = batch.takens
+        targets = batch.targets
+        next_pcs = batch.next_pcs
+        addrs = batch.addrs
+        stores = batch.stores
+        probs = batch.prob_modes
+        buffer = self._buffer
+        append = buffer.append
+        cache = self._pack_cache
+        cache_get = cache.get
+        pack_head = _EVENT.pack
+        pack_u32 = _U32.pack
+        per_frame = self.events_per_frame
+        buffered = self._buffered
+        for i in range(len(pcs)):
+            pc = pcs[i]
+            target = targets[i]
+            addr = addrs[i]
+            flags = probs[i] << PROB_SHIFT
+            if conds[i]:
+                flags |= F_COND
+            if takens[i]:
+                flags |= F_TAKEN
+            if stores[i]:
+                flags |= F_STORE
+            next_pc = next_pcs[i]
+            if target is not None:
+                flags |= F_TARGET
+                if next_pc == target:
+                    flags |= F_NEXT_IS_TARGET
+                elif next_pc != pc + 1:
+                    raise TraceFormatError(
+                        f"unencodable next_pc {next_pc} at pc {pc}"
+                    )
+            elif next_pc != pc + 1:
+                raise TraceFormatError(
+                    f"unencodable next_pc {next_pc} at pc {pc}"
+                )
+            if addr is not None:
+                flags |= F_ADDR
+            key = (pc, flags, target)
+            record = cache_get(key)
+            if record is None:
+                srcs = srcs_col[i]
+                record = (
+                    pack_head(pc, ops[i], flags, dests[i], len(srcs))
+                    + bytes(srcs)
+                )
+                if target is not None:
+                    record += pack_u32(target)
+                cache[key] = record
+            if addr is not None:
+                record += pack_u32(addr)
+            append(record)
+            buffered += 1
+            if buffered >= per_frame:
+                self.events += buffered - self._buffered
+                self._buffered = buffered
+                self._flush_frame()
+                buffered = 0
+        self.events += buffered - self._buffered
+        self._buffered = buffered
 
     def _flush_frame(self) -> None:
         if not self._buffered:
@@ -285,8 +425,8 @@ class TraceReader:
     def events_count(self) -> int:
         return int(self.meta.get("events", 0))
 
-    def events(self) -> Iterator[TraceEvent]:
-        """Stream the recorded events, one frame in memory at a time."""
+    def _event_payloads(self) -> Iterator[bytes]:
+        """Stream the raw (decompressed) event-frame payloads."""
         with open(self.path, "rb") as handle:
             handle.seek(_HEADER.size)
             while handle.tell() < self._meta_offset:
@@ -295,14 +435,34 @@ class TraceReader:
                     raise TraceFormatError(
                         f"{self.path}: unexpected frame kind {kind}"
                     )
-                yield from unpack_events(payload)
+                yield payload
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Stream the recorded events, one frame in memory at a time."""
+        for payload in self._event_payloads():
+            yield from unpack_events(payload)
 
     def replay(self, sink) -> int:
-        """Feed every event to ``sink``; returns the event count."""
+        """Feed every event to ``sink``; returns the event count.
+
+        A batch-capable sink (one declaring ``consume_batch``) receives
+        one :class:`EventBatch` per stored frame, decoded straight into
+        columns — no per-event TraceEvent construction.
+        """
+        consume = getattr(sink, "consume_batch", None)
+        if consume is None:
+            count = 0
+            for event in self.events():
+                sink(event)
+                count += 1
+            return count
         count = 0
-        for event in self.events():
-            sink(event)
-            count += 1
+        batch = EventBatch()
+        for payload in self._event_payloads():
+            unpack_events_batch(payload, batch)
+            count += len(batch.pcs)
+            consume(batch)
+            batch.clear()
         return count
 
 

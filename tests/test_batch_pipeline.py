@@ -1,0 +1,366 @@
+"""The columnar sink contract: batched delivery is bit-identical.
+
+The batch pipeline (``EventBatch`` from the engines, ``consume_batch``
+on the consumers) is a pure speed play — every test here pins the
+"never changes results" half of that bargain:
+
+* ``EventBatch`` explodes back to the exact ``TraceEvent`` stream it
+  was packed from;
+* ``PredictorHarness.consume_batch`` produces the same final stats as
+  the per-event ``__call__`` walk, for **every registered predictor**;
+* ``MispredictBreakdown.consume_batch`` matches the per-event pass
+  down to the per-PC mispredict attribution;
+* the sim-layer ``FanOut`` feeds columnar and legacy members the same
+  stream, and its ``sink_batches``/``sink_fallbacks`` counters surface
+  through sweep stats;
+* the sink-attached diff mode holds interp and compiled to the same
+  batch-fed tally at every barrier.
+
+Hypothesis drives generated programs through the interp-vs-batch
+comparison where it is installed; the exhaustive per-predictor sweeps
+run regardless.
+"""
+
+import pytest
+
+from repro.branch import PredictorHarness
+from repro.functional import EventBatch, Executor
+from repro.functional.trace import ProbMode, TraceEvent
+from repro.sim import FanOut, Session, Sweep, get_workload, predictor_names
+from repro.sim.registry import create_predictor
+
+# One mid-size branchy workload keeps every per-predictor case fast.
+WORKLOAD = "bandit"
+SCALE = 0.05
+SEED = 3
+
+
+def capture_events(workload=WORKLOAD, scale=SCALE, seed=SEED):
+    events = []
+    get_workload(workload).run(scale=scale, seed=seed, sink=events.append)
+    return events
+
+
+@pytest.fixture(scope="module")
+def event_stream():
+    return capture_events()
+
+
+# ----------------------------------------------------------------------
+# EventBatch itself.
+# ----------------------------------------------------------------------
+class TestEventBatch:
+    def test_round_trip_explodes_to_identical_events(self, event_stream):
+        batch = EventBatch.from_events(event_stream)
+        assert len(batch) == len(event_stream)
+        for original, exploded in zip(event_stream, batch.events()):
+            for slot in TraceEvent.__slots__:
+                assert getattr(original, slot) == getattr(exploded, slot)
+
+    def test_clear_empties_every_column(self, event_stream):
+        batch = EventBatch.from_events(event_stream[:10])
+        batch.clear()
+        assert len(batch) == 0
+        for column in EventBatch.__slots__:
+            assert getattr(batch, column) == []
+
+    def test_deliver_prefers_consume_batch(self):
+        class Columnar:
+            def __init__(self):
+                self.batches = []
+
+            def __call__(self, event):  # pragma: no cover — must not run
+                raise AssertionError("batched consumer fed per-event")
+
+            def consume_batch(self, batch):
+                self.batches.append(len(batch))
+
+        batch = EventBatch.from_events(capture_events(scale=0.01))
+        consumer = Columnar()
+        assert batch.deliver(consumer) is True
+        assert consumer.batches == [len(batch)]
+
+    def test_deliver_falls_back_to_per_event(self):
+        events = []
+        batch = EventBatch.from_events(capture_events(scale=0.01))
+        assert batch.deliver(events.append) is False
+        assert len(events) == len(batch)
+
+
+# ----------------------------------------------------------------------
+# The interpreter's batched emission: same stream, either protocol.
+# ----------------------------------------------------------------------
+class _Collector:
+    """Columnar sink that explodes every batch back to events."""
+
+    def __init__(self):
+        self.events = []
+        self.batches = 0
+
+    def consume_batch(self, batch):
+        self.batches += 1
+        self.events.extend(batch.events())
+
+
+def assert_streams_equal(per_event, exploded):
+    assert len(per_event) == len(exploded)
+    for a, b in zip(per_event, exploded):
+        for slot in TraceEvent.__slots__:
+            assert getattr(a, slot) == getattr(b, slot), slot
+
+
+def test_interp_batch_stream_matches_per_event(event_stream):
+    collector = _Collector()
+    get_workload(WORKLOAD).run(scale=SCALE, seed=SEED, sink=collector)
+    assert collector.batches >= 1
+    assert_streams_equal(event_stream, collector.events)
+
+
+def test_compiled_batch_stream_matches_per_event(event_stream):
+    from repro.engines import create_engine
+
+    collector = _Collector()
+    get_workload(WORKLOAD).run(
+        scale=SCALE, seed=SEED, sink=collector,
+        engine=create_engine("compiled"),
+    )
+    assert collector.batches >= 1
+    assert_streams_equal(event_stream, collector.events)
+
+
+def test_budget_pause_flushes_batch():
+    """A budget-paused run() must already have delivered every event a
+    per-event sink would have seen — the diff steppers rely on it."""
+    program = get_workload("pi").build(0.05)
+    reference = []
+    ex = Executor(program, seed=1)
+    ex.run(sink=reference.append)
+
+    collector = _Collector()
+    paused = Executor(program, seed=1)
+    while not paused.halted:
+        paused.run(sink=collector, budget=97)
+        assert len(collector.events) == paused.retired
+    assert_streams_equal(reference, collector.events)
+
+
+# ----------------------------------------------------------------------
+# PredictorHarness.consume_batch — every registered predictor.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", predictor_names())
+def test_harness_batch_matches_per_event(name, event_stream):
+    per_event = PredictorHarness(create_predictor(name))
+    for event in event_stream:
+        per_event(event)
+
+    batched = PredictorHarness(create_predictor(name))
+    # Uneven chunk sizes cover batch-boundary handling.
+    for start in range(0, len(event_stream), 777):
+        batched.consume_batch(
+            EventBatch.from_events(event_stream[start:start + 777])
+        )
+    assert batched.stats.as_dict() == per_event.stats.as_dict()
+
+
+@pytest.mark.parametrize("name", predictor_names())
+def test_harness_batch_matches_per_event_pbs(name):
+    """Same contract with PBS prob modes in the stream (PBS_HIT and
+    PREDICTED rows take the harness's special arms)."""
+    from repro.core import PBSEngine
+
+    events = []
+    get_workload(WORKLOAD).run(
+        scale=SCALE, seed=SEED, pbs=PBSEngine(), sink=events.append
+    )
+    assert any(e.prob_mode != ProbMode.NOT_PROB for e in events)
+
+    for options in ({}, {"pbs_inserts_history": True}):
+        per_event = PredictorHarness(create_predictor(name), **options)
+        for event in events:
+            per_event(event)
+        batched = PredictorHarness(create_predictor(name), **options)
+        batched.consume_batch(EventBatch.from_events(events))
+        assert batched.stats.as_dict() == per_event.stats.as_dict()
+
+
+def test_session_single_and_multi_predictor_results_unchanged():
+    """End to end: the batched Session path reports the same metrics as
+    feeding the same harnesses per-event by hand."""
+    result = (
+        Session(WORKLOAD, scale=SCALE, seed=SEED)
+        .predictors("tournament", "gshare", "tage-sc-l")
+        .run()
+    )
+    assert result.sink_batches > 0
+    assert result.sink_fallbacks == 0
+    events = capture_events()
+    for name in ("tournament", "gshare", "tage-sc-l"):
+        harness = PredictorHarness(create_predictor(name))
+        for event in events:
+            harness(event)
+        reported = result.predictor(name)
+        assert reported.instructions == harness.stats.instructions
+        assert reported.mispredicts == harness.stats.mispredicts
+        assert reported.mpki == pytest.approx(harness.stats.mpki)
+
+
+# ----------------------------------------------------------------------
+# MispredictBreakdown.consume_batch — per-PC attribution parity.
+# ----------------------------------------------------------------------
+def test_mispredict_breakdown_batch_matches_per_event(event_stream):
+    from repro.analysis import create_analysis
+
+    names = ("tournament", "tage-sc-l", "bimodal")
+    per_event = create_analysis("mispredicts", predictors=names, top=None)
+    for event in event_stream:
+        per_event(event)
+
+    batched = create_analysis("mispredicts", predictors=names, top=None)
+    for start in range(0, len(event_stream), 513):
+        batched.consume_batch(
+            EventBatch.from_events(event_stream[start:start + 513])
+        )
+    assert batched.result() == per_event.result()
+
+
+# ----------------------------------------------------------------------
+# FanOut batching semantics and counters.
+# ----------------------------------------------------------------------
+class TestFanOut:
+    def test_all_legacy_fanout_stays_per_event(self):
+        sinks = [[], []]
+        fan = FanOut([sinks[0].append, sinks[1].append])
+        assert getattr(fan, "consume_batch", None) is None
+
+    def test_mixed_fanout_explodes_once_for_legacy(self, event_stream):
+        harness = PredictorHarness(create_predictor("tournament"))
+        legacy = []
+        fan = FanOut([harness, legacy.append])
+        batch = EventBatch.from_events(event_stream)
+        fan.consume_batch(batch)
+        assert fan.batches == 1
+        assert fan.fallbacks == 1
+        assert fan.legacy_names() == ["list.append"]
+        assert len(legacy) == len(event_stream)
+        assert harness.stats.instructions == len(event_stream)
+
+    def test_sweep_stats_surface_sink_counters(self):
+        stats = (
+            Sweep(workloads=["pi"], scales=[0.05], seeds=[1], modes=["base"],
+                  predictors=["tournament"])
+            .run()
+            .to_stats()
+        )
+        assert stats["sink_batches"] > 0
+        assert stats["sink_fallbacks"] is None
+
+    def test_session_legacy_sink_counts_fallbacks(self):
+        events = []
+        result = (
+            Session("pi", scale=0.05, seed=1)
+            .predictors("tournament")
+            .sink(events.append)
+            .run()
+        )
+        assert result.sink_fallbacks == result.sink_batches > 0
+        assert result.sink_fallback_consumers == ["list.append"]
+        assert len(events) == result.instructions
+
+
+# ----------------------------------------------------------------------
+# Sink-attached diff lockstep.
+# ----------------------------------------------------------------------
+def test_diff_sink_attached_interp_vs_compiled():
+    from repro.diff import diff_tiers
+
+    program = get_workload("pi").build(0.05)
+    divergence = diff_tiers(
+        program, ("interp", "compiled"), seed=1, stride=32,
+        predictor="tournament",
+    )
+    assert divergence is None
+
+
+def test_diff_sink_attached_rejects_sinkless_tier():
+    from repro.diff import diff_tiers
+
+    program = get_workload("pi").build(0.02)
+    with pytest.raises(ValueError, match="sink"):
+        diff_tiers(program, ("interp", "replay"), predictor="tournament")
+
+
+def test_diff_sink_detects_tally_skew():
+    """A sink divergence must surface as a structured delta — drive the
+    harness against a deliberately skewed stepper."""
+    from repro.diff.harness import diff_tiers
+    from repro.diff.steppers import STEPPERS, InterpStepper
+
+    class SkewedStepper(InterpStepper):
+        name = "skewed"
+
+        def sink_stats(self):
+            stats = super().sink_stats()
+            stats["instructions"] += 1
+            return stats
+
+    STEPPERS["skewed"] = SkewedStepper
+    try:
+        program = get_workload("pi").build(0.02)
+        divergence = diff_tiers(
+            program, ("interp", "skewed"), seed=1, predictor="tournament"
+        )
+        assert divergence is not None
+        assert divergence.kind == "state"
+        assert any(d["field"] == "sink" for d in divergence.deltas)
+    finally:
+        del STEPPERS["skewed"]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: generated programs, interp per-event vs batched, plus the
+# harness tally on top.
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       predictor=st.sampled_from(predictor_names()))
+def test_generated_programs_batch_equivalence(seed, predictor):
+    from repro.diff import build_program, generate
+
+    program = build_program(generate(seed, "full"))
+
+    reference = []
+    ref_harness = PredictorHarness(create_predictor(predictor))
+
+    def per_event(event):
+        reference.append(event)
+        ref_harness(event)
+
+    try:
+        Executor(program, seed=seed).run(sink=per_event)
+    except Exception as exc:  # noqa: BLE001 — must fault identically below
+        fault = f"{type(exc).__name__}: {exc}"
+    else:
+        fault = None
+
+    collector = _Collector()
+    batch_harness = PredictorHarness(create_predictor(predictor))
+
+    class Fan:
+        def consume_batch(self, batch):
+            collector.consume_batch(batch)
+            batch_harness.consume_batch(batch)
+
+    try:
+        Executor(program, seed=seed).run(sink=Fan())
+    except Exception as exc:  # noqa: BLE001
+        assert fault == f"{type(exc).__name__}: {exc}"
+    else:
+        assert fault is None
+
+    assert_streams_equal(reference, collector.events)
+    assert batch_harness.stats.as_dict() == ref_harness.stats.as_dict()
