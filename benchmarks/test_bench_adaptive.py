@@ -1,0 +1,93 @@
+"""Benchmarks for the adaptive autopilot driver.
+
+Two things are tracked here:
+
+* wall time of a whole refinement loop (the golden bandit case), so
+  allocator/dispatch overhead regressions surface in the trajectory;
+* **sample efficiency** — the acceptance criterion that adaptive
+  refinement locates the bandit workload's PBS frontier with at most
+  40% of the simulations the equivalent dense grid needs.  The dense
+  equivalent is priced at its absolute floor: every cell of a uniform
+  grid over the same scale range, at the finest resolution the adaptive
+  run actually achieved around the frontier, sampled the minimum two
+  pulls a confidence interval needs.  A real dense sweep would need
+  far more pulls per cell to decide anything; beating the floor is the
+  conservative claim.  Measured numbers are recorded in
+  ``benchmarks/ADAPTIVE_efficiency.md``.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.sim import AdaptiveSweep
+
+#: The golden bandit frontier case (tests/golden/ pins its full
+#: trajectory; here we track its cost).
+BANDIT_CASE = dict(
+    workload="bandit",
+    objective="pbs-output",
+    objective_options={"key": "average_reward", "threshold": 0.8},
+    scales=(0.01, 0.02, 0.05, 0.1),
+    budget=64,
+    seed=7,
+    max_pulls=16,
+)
+
+MAX_DENSE_FRACTION = 0.40
+
+
+def _dense_equivalent_specs(report, min_pulls=2):
+    """Spec count of the cheapest dense grid with the same resolution.
+
+    Uniform spacing equal to the finest adjacent-cell gap the adaptive
+    run produced (that gap *is* the resolution of its frontier
+    estimate), spanning the same scale range, at ``min_pulls`` samples
+    per cell — the floor below which no interval exists at all.
+    """
+    sampled = [cell for cell in report.cells if cell.samples]
+    gaps = [
+        high.scale - low.scale
+        for low, high in zip(sampled, sampled[1:])
+    ]
+    resolution = min(gaps)
+    span = sampled[-1].scale - sampled[0].scale
+    n_cells = int(math.floor(span / resolution + 0.5)) + 1
+    return n_cells * min_pulls * len(report.modes)
+
+
+def test_autopilot_bandit_frontier(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: AdaptiveSweep(**BANDIT_CASE).run(executor="serial"),
+    )
+    assert report.frontier, "the bandit reward frontier must be located"
+    dense = _dense_equivalent_specs(report)
+    fraction = report.budget_spent / dense
+    benchmark.extra_info["budget_spent"] = report.budget_spent
+    benchmark.extra_info["dense_equivalent_specs"] = dense
+    benchmark.extra_info["dense_fraction"] = round(fraction, 4)
+    benchmark.extra_info["frontier_estimate"] = report.frontier[0].estimate
+    assert fraction <= MAX_DENSE_FRACTION, (
+        f"adaptive spend {report.budget_spent} is {fraction:.0%} of the "
+        f"dense-equivalent {dense} specs (limit {MAX_DENSE_FRACTION:.0%})"
+    )
+
+
+def test_autopilot_pi_accuracy(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: AdaptiveSweep(
+            "pi",
+            objective="pbs-accuracy",
+            objective_options={"threshold": 0.002},
+            scales=(0.01, 0.04, 0.16),
+            budget=40,
+            seed=1,
+        ).run(executor="serial"),
+    )
+    assert report.frontier
+    dense = _dense_equivalent_specs(report)
+    benchmark.extra_info["budget_spent"] = report.budget_spent
+    benchmark.extra_info["dense_equivalent_specs"] = dense
+    assert report.budget_spent <= MAX_DENSE_FRACTION * dense

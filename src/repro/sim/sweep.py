@@ -390,18 +390,31 @@ class Sweep:
         results: List[Optional[RunResult]] = [None] * len(specs)
 
         pending: List[int] = []
+        hits: List[int] = []
         for index, spec in enumerate(specs):
             if cache is not None:
                 hit = cache.get(spec.digest())
                 if hit is not None:
                     results[index] = hit
-                    if on_result is not None:
-                        on_result(spec, hit)
+                    hits.append(index)
                     continue
             pending.append(index)
 
         total_pending = len(pending)
         engine_fallbacks: List[Dict] = []
+        executor_name = None
+        trace_captures = trace_hits = 0
+        workers: Optional[Dict] = None
+
+        # Cache hits notify first, in spec order, and only now — after
+        # every counter above exists — so a callback that raises cannot
+        # unwind a half-initialized run, and the callback sequence for
+        # any given grid prefix is identical on warm and cold caches
+        # (adaptive drivers feed allocator state from this order).
+        if on_result is not None:
+            for index in hits:
+                on_result(specs[index], results[index])
+
         if pending and self.engine == "vector" and self.trace_dir is None:
             # Lockstep stage: grid columns differing only by seed run as
             # one vectorized call; whatever it cannot take (singletons,
@@ -410,9 +423,6 @@ class Sweep:
                 specs, pending, results, cache, on_result, engine_fallbacks
             )
 
-        executor_name = None
-        trace_captures = trace_hits = 0
-        workers: Optional[Dict] = None
         if pending:
             if self.trace_dir is not None:
                 for index in pending:

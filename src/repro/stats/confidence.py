@@ -31,8 +31,21 @@ class Interval:
         return f"{self.mean:.3f} [{self.low:.3f}, {self.high:.3f}]"
 
 
+def _check_confidence(confidence: float) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+
+
 def mean_interval(samples: Sequence[float], confidence: float = 0.95) -> Interval:
-    """Student-t confidence interval for the mean of ``samples``."""
+    """Student-t confidence interval for the mean of ``samples``.
+
+    ``n == 1`` yields the degenerate ``[mean, mean]`` interval (one
+    sample carries no width information); ``n == 0`` raises.  Zero
+    variance likewise collapses the interval to a point.
+    """
+    _check_confidence(confidence)
     n = len(samples)
     if n == 0:
         raise ValueError("no samples")
@@ -49,9 +62,18 @@ def mean_interval(samples: Sequence[float], confidence: float = 0.95) -> Interva
 def proportion_interval(
     successes: int, trials: int, confidence: float = 0.95
 ) -> Interval:
-    """Wilson score interval for a binomial proportion."""
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the normal approximation, Wilson stays inside ``[0, 1]`` and
+    keeps a non-empty interval at 0 or ``trials`` successes.
+    """
+    _check_confidence(confidence)
     if trials <= 0:
         raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be within [0, {trials}], got {successes}"
+        )
     z = sps.norm.ppf(0.5 + confidence / 2.0)
     p = successes / trials
     denom = 1.0 + z * z / trials

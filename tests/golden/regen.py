@@ -13,7 +13,16 @@ import sys
 
 from repro.sim import SerialExecutor
 
-from . import GOLDEN_DIR, MANIFEST_PATH, fixture_name, golden_specs, normalized_json
+from . import (
+    GOLDEN_AUTOPILOTS,
+    GOLDEN_DIR,
+    MANIFEST_PATH,
+    autopilot_sweep,
+    fixture_name,
+    golden_specs,
+    normalized_json,
+    normalized_report_json,
+)
 
 
 def main() -> int:
@@ -31,6 +40,14 @@ def main() -> int:
         print(f"wrote {name} (digest {spec.digest()[:12]}...)", file=sys.stderr)
     MANIFEST_PATH.write_text(json.dumps(manifest, indent=2) + "\n")
     print(f"wrote specs.json ({len(manifest)} fixtures)", file=sys.stderr)
+    for name, kwargs in GOLDEN_AUTOPILOTS:
+        report = autopilot_sweep(kwargs).run(executor="serial")
+        (GOLDEN_DIR / name).write_text(normalized_report_json(report))
+        print(
+            f"wrote {name} (budget {report.budget_spent}/{report.budget}, "
+            f"{len(report.frontier)} frontier segments)",
+            file=sys.stderr,
+        )
     return 0
 
 

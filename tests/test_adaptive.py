@@ -1,0 +1,367 @@
+"""Property + regression suite for repro.sim.adaptive.
+
+The contracts pinned here:
+
+* **Determinism** — the same ``(budget, seed)`` produces a
+  byte-identical :class:`RefinementReport` across serial, process and
+  pool executors, and across repeated runs (hypothesis drives the
+  search over budgets and seeds);
+* **Budget** — ``budget_spent`` never exceeds ``budget``, and the
+  per-round / per-cell spends account for every spec;
+* **Early stop** — a cell is only frozen when its confidence interval
+  actually excludes the objective threshold, and the recorded decision
+  matches what the interval says;
+* **Callback order** — ``Sweep.run`` fires ``on_result`` for cache
+  hits first, in spec order, identically on warm and cold caches (the
+  regression that would silently skew any driver feeding allocator
+  state from callback order).
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    AdaptiveSweep,
+    Objective,
+    RefinementReport,
+    Sweep,
+    create_objective,
+    objective_names,
+    register_objective,
+)
+from repro.stats import mean_interval
+
+#: One cheap grid point: pi at tiny scales, ~5 ms per spec.
+WORKLOAD = "pi"
+SCALES = (0.01, 0.02)
+OBJECTIVE = "pbs-accuracy"
+OBJECTIVE_OPTIONS = {"threshold": 0.002}
+
+
+def run_autopilot(budget, seed, executor="serial", processes=1, **kwargs):
+    kwargs.setdefault("max_rounds", 6)
+    return AdaptiveSweep(
+        WORKLOAD,
+        objective=OBJECTIVE,
+        objective_options=dict(OBJECTIVE_OPTIONS),
+        scales=SCALES,
+        budget=budget,
+        seed=seed,
+        **kwargs,
+    ).run(executor=executor, processes=processes)
+
+
+class TestObjectiveRegistry:
+    def test_builtins_registered(self):
+        names = objective_names()
+        assert "pbs-win" in names
+        assert "pbs-accuracy" in names
+        assert "pbs-output" in names
+
+    def test_create_with_options(self):
+        objective = create_objective("pbs-win", predictor="gshare",
+                                     threshold=1.5)
+        assert objective.predictors == ("gshare",)
+        assert objective.threshold == 1.5
+        assert objective.options == {"predictor": "gshare",
+                                     "threshold": 1.5}
+
+    def test_unknown_option_names_valid_ones(self):
+        with pytest.raises(TypeError, match="predictor"):
+            create_objective("pbs-win", bogus=1)
+
+    def test_unknown_objective(self):
+        with pytest.raises(KeyError, match="pbs-win"):
+            create_objective("definitely-not-registered")
+
+    def test_instance_passes_through(self):
+        objective = create_objective("pbs-accuracy")
+        assert create_objective(objective) is objective
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            @register_objective("pbs-win")
+            class Duplicate(Objective):
+                pass
+
+    def test_output_objective_validates_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            create_objective("pbs-output", direction="sideways")
+
+
+class TestObjectiveDecide:
+    def test_direction_above(self):
+        objective = create_objective("pbs-win", threshold=1.0)
+        assert objective.decide(FakeInterval(2.0, 3.0)) == "win"
+        assert objective.decide(FakeInterval(-1.0, 0.5)) == "loss"
+        assert objective.decide(FakeInterval(0.5, 2.0)) is None
+
+    def test_direction_below(self):
+        objective = create_objective("pbs-accuracy", threshold=1.0)
+        assert objective.decide(FakeInterval(0.1, 0.5)) == "win"
+        assert objective.decide(FakeInterval(1.5, 2.0)) == "loss"
+        assert objective.decide(FakeInterval(0.5, 2.0)) is None
+
+    def test_lean_polarity(self):
+        above = create_objective("pbs-win", threshold=1.0)
+        below = create_objective("pbs-accuracy", threshold=1.0)
+        assert above.lean(2.0) == "win"
+        assert above.lean(0.0) == "loss"
+        assert below.lean(2.0) == "loss"
+        assert below.lean(0.0) == "win"
+
+
+class FakeInterval:
+    def __init__(self, low, high):
+        self.low = low
+        self.high = high
+        self.mean = (low + high) / 2.0
+
+
+class TestValidation:
+    def test_negative_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            AdaptiveSweep(WORKLOAD, budget=-1)
+
+    def test_empty_scales(self):
+        with pytest.raises(ValueError, match="scale"):
+            AdaptiveSweep(WORKLOAD, scales=())
+
+    def test_min_pulls_floor(self):
+        # One sample yields a degenerate interval that would "decide"
+        # any threshold it does not exactly equal.
+        with pytest.raises(ValueError, match="min_pulls"):
+            AdaptiveSweep(WORKLOAD, min_pulls=1)
+
+    def test_init_pulls_floor(self):
+        with pytest.raises(ValueError, match="init_pulls"):
+            AdaptiveSweep(WORKLOAD, init_pulls=0)
+
+
+class TestDeterminism:
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(budget=st.integers(min_value=0, max_value=24),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_byte_identical_across_executors_and_repeats(self, budget, seed):
+        baseline = run_autopilot(budget, seed).to_json(indent=2)
+        repeat = run_autopilot(budget, seed).to_json(indent=2)
+        pooled = run_autopilot(
+            budget, seed, executor="pool", processes=2
+        ).to_json(indent=2)
+        forked = run_autopilot(
+            budget, seed, executor="process", processes=2
+        ).to_json(indent=2)
+        assert repeat == baseline
+        assert pooled == baseline
+        assert forked == baseline
+
+    def test_json_round_trip_lossless(self):
+        report = run_autopilot(20, 3)
+        clone = RefinementReport.from_json(report.to_json())
+        assert clone.to_json(indent=2) == report.to_json(indent=2)
+        assert clone.cells[0].samples == report.cells[0].samples
+
+    def test_transients_not_serialized(self):
+        report = run_autopilot(8, 1)
+        data = json.loads(report.to_json())
+        for transient in ("wall_time", "executor", "simulated",
+                         "cache_hits", "workers"):
+            assert transient not in data
+
+    def test_warm_cache_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_autopilot(16, 5, cache_dir=cache_dir)
+        warm = run_autopilot(16, 5, cache_dir=cache_dir)
+        assert warm.to_json(indent=2) == cold.to_json(indent=2)
+        assert warm.budget_spent == cold.budget_spent
+        assert warm.simulated == 0
+        assert warm.cache_hits == cold.budget_spent
+
+
+class TestBudget:
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(budget=st.integers(min_value=0, max_value=30),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_budget_never_exceeded_and_fully_accounted(self, budget, seed):
+        report = run_autopilot(budget, seed)
+        assert report.budget_spent <= budget
+        assert report.budget_spent == sum(r.spend for r in report.rounds)
+        assert report.budget_spent == sum(c.spend for c in report.cells)
+        assert report.simulated + report.cache_hits == report.budget_spent
+        # One pull costs len(modes) specs; a partial pull never ships.
+        assert report.budget_spent % len(report.modes) == 0
+
+    def test_zero_budget_runs_nothing(self):
+        report = run_autopilot(0, 1)
+        assert report.budget_spent == 0
+        assert report.refine_rounds == 0
+        assert all(not cell.samples for cell in report.cells)
+        assert report.frontier == []
+
+
+class TestEarlyStop:
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_decisions_match_recomputed_intervals(self, seed):
+        report = run_autopilot(24, seed)
+        objective = create_objective(
+            report.objective, **report.objective_options
+        )
+        decided = 0
+        for cell in report.cells:
+            interval = (mean_interval(cell.samples, report.confidence)
+                        if cell.samples else None)
+            if cell.decision is not None:
+                decided += 1
+                assert len(cell.samples) >= 2
+                assert objective.decide(interval) == cell.decision
+                assert cell.decided_round is not None
+                assert cell.lean is None
+            elif cell.samples:
+                # Undecided cells carry a lean, and their interval
+                # genuinely straddles (or touches) the threshold at
+                # every pull count the driver could have decided at.
+                assert cell.lean == objective.lean(interval.mean)
+        assert report.early_stopped == decided
+
+    def test_decided_cells_stop_consuming_budget(self):
+        report = run_autopilot(40, 2, max_rounds=10)
+        for cell in report.cells:
+            if cell.decision is None:
+                continue
+            decided_at = cell.decided_round
+            for later in report.rounds:
+                if later.index <= decided_at:
+                    continue
+                pulled = [scale for scale, _ in later.pulls]
+                assert cell.scale not in pulled
+
+
+class TestRounds:
+    def test_round_indices_contiguous(self):
+        report = run_autopilot(24, 4)
+        assert [r.index for r in report.rounds] == list(
+            range(len(report.rounds))
+        )
+        assert report.refine_rounds == len(report.rounds) - 1
+
+    def test_on_round_fires_in_order(self):
+        seen = []
+        AdaptiveSweep(
+            WORKLOAD, objective=OBJECTIVE,
+            objective_options=dict(OBJECTIVE_OPTIONS),
+            scales=SCALES, budget=16, seed=3, max_rounds=4,
+        ).run(executor="serial", on_round=seen.append)
+        assert [r.index for r in seen] == list(range(len(seen)))
+        assert seen[0].index == 0 and seen[0].spend > 0
+
+
+class TestSweepCallbackOrder:
+    """Satellite regression: ``Sweep.run`` cache hits notify first, in
+    spec order, after run state exists — identically warm and cold."""
+
+    GRID = dict(workloads=["pi"], scales=[0.01], seeds=[0, 1, 2],
+                modes=["base"], predictors=[])
+
+    def _run(self, cache_dir, **overrides):
+        order = []
+        grid = dict(self.GRID, cache_dir=cache_dir, **overrides)
+        Sweep(**grid).run(
+            executor="serial",
+            on_result=lambda spec, result: order.append(
+                (spec.seed, bool(result.cached))
+            ),
+        )
+        return order
+
+    def test_warm_and_cold_order_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = self._run(cache_dir)
+        warm = self._run(cache_dir)
+        assert [seed for seed, _ in cold] == [seed for seed, _ in warm]
+        assert all(not cached for _, cached in cold)
+        assert all(cached for _, cached in warm)
+
+    def test_partially_warm_hits_first_in_spec_order(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        # Prime only the middle seed, then run the full grid.
+        self._run(cache_dir, seeds=[1])
+        order = self._run(cache_dir)
+        assert order == [(1, True), (0, False), (2, False)]
+
+    def test_raising_callback_leaves_no_partial_state(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._run(cache_dir)  # warm everything
+
+        def boom(spec, result):
+            raise RuntimeError("observer exploded")
+
+        with pytest.raises(RuntimeError, match="observer exploded"):
+            Sweep(**dict(self.GRID, cache_dir=cache_dir)).run(
+                executor="serial", on_result=boom
+            )
+        # The cache is untouched and a clean run still works.
+        order = self._run(cache_dir)
+        assert all(cached for _, cached in order)
+
+
+class TestCLI:
+    def _main(self, argv, capsys):
+        from repro.experiments.runner import main
+
+        code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_stats_json_contract(self, capsys):
+        code, out = self._main(
+            ["autopilot", WORKLOAD, "--objective", OBJECTIVE,
+             "--objective-option", "threshold=0.002",
+             "--scales", "0.01,0.02", "--budget", "12", "--seed", "1",
+             "--stats-json", "-"],
+            capsys,
+        )
+        assert code == 0
+        stats = json.loads(out[: out.index("\nautopilot ")])
+        for key in ("budget", "budget_spent", "refine_rounds",
+                    "early_stopped", "frontier", "cells", "simulated",
+                    "cache_hits", "wall_time", "executor"):
+            assert key in stats
+        assert stats["budget_spent"] <= stats["budget"] == 12
+        assert stats["workload"] == WORKLOAD
+
+    def test_require_frontier_exit_code(self, capsys):
+        # An unreachable threshold never flips: contract is exit 4.
+        code, _ = self._main(
+            ["autopilot", WORKLOAD, "--objective", OBJECTIVE,
+             "--objective-option", "threshold=1e9",
+             "--scales", "0.01,0.02", "--budget", "8", "--seed", "1",
+             "--require-frontier"],
+            capsys,
+        )
+        assert code == 4
+
+    def test_json_report_parses(self, capsys):
+        code, out = self._main(
+            ["autopilot", WORKLOAD, "--objective", OBJECTIVE,
+             "--scales", "0.01", "--budget", "6", "--seed", "2",
+             "--json"],
+            capsys,
+        )
+        assert code == 0
+        report = RefinementReport.from_json(out)
+        assert report.workload == WORKLOAD
+        assert report.budget == 6
+
+    def test_bad_objective_option_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            self._main(
+                ["autopilot", WORKLOAD, "--objective-option", "nonsense"],
+                capsys,
+            )

@@ -12,6 +12,7 @@ EXPECTED_PAGES = (
     "index.md",
     "architecture.md",
     "api.md",
+    "adaptive.md",
     "traces.md",
     "analysis.md",
     "distributed.md",

@@ -155,6 +155,42 @@ class TestMeanInterval:
                 covered += 1
         assert covered / trials > 0.88
 
+    def test_zero_variance_collapses_to_point(self):
+        interval = mean_interval([2.5, 2.5, 2.5, 2.5])
+        assert interval.low == interval.mean == interval.high == 2.5
+
+    def test_single_sample_keeps_confidence(self):
+        interval = mean_interval([7.0], confidence=0.99)
+        assert interval.confidence == 0.99
+        assert interval.low == interval.high == 7.0
+
+    @pytest.mark.parametrize("confidence", [0.5, 0.8, 0.9, 0.99])
+    def test_width_grows_with_confidence(self, confidence):
+        samples = [1.0, 2.0, 4.0, 8.0, 16.0]
+        narrow = mean_interval(samples, confidence)
+        wide = mean_interval(samples, 0.995)
+        assert narrow.confidence == confidence
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+        assert narrow.low < wide.mean < narrow.high
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_degenerate_confidence(self, confidence):
+        with pytest.raises(ValueError):
+            mean_interval([1.0, 2.0], confidence)
+
+    def test_matches_scipy_reference(self):
+        samples = [1.2, 3.4, 2.2, 5.6, 0.9, 4.4]
+        interval = mean_interval(samples, 0.9)
+        from scipy import stats as sps
+
+        low, high = sps.t.interval(
+            0.9, len(samples) - 1,
+            loc=np.mean(samples),
+            scale=sps.sem(samples),
+        )
+        assert interval.low == pytest.approx(low)
+        assert interval.high == pytest.approx(high)
+
 
 class TestProportionInterval:
     def test_bounds_clamped(self):
@@ -170,6 +206,42 @@ class TestProportionInterval:
     def test_rejects_zero_trials(self):
         with pytest.raises(ValueError):
             proportion_interval(1, 0)
+
+    def test_zero_successes_nonempty(self):
+        # Wilson never collapses at the boundary: even 0/10 admits
+        # some probability mass above zero.
+        interval = proportion_interval(0, 10)
+        assert interval.mean == 0.0
+        assert interval.low == 0.0
+        assert 0.0 < interval.high < 0.5
+
+    def test_all_successes_nonempty(self):
+        interval = proportion_interval(10, 10)
+        assert interval.mean == 1.0
+        assert interval.high == pytest.approx(1.0)
+        assert 0.5 < interval.low < 1.0
+
+    def test_boundary_symmetry(self):
+        none = proportion_interval(0, 25)
+        all_ = proportion_interval(25, 25)
+        assert none.high == pytest.approx(1.0 - all_.low)
+
+    @pytest.mark.parametrize("confidence", [0.5, 0.9, 0.99])
+    def test_width_grows_with_confidence(self, confidence):
+        narrow = proportion_interval(7, 20, confidence)
+        wide = proportion_interval(7, 20, 0.995)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_rejects_out_of_range_successes(self):
+        with pytest.raises(ValueError):
+            proportion_interval(-1, 10)
+        with pytest.raises(ValueError):
+            proportion_interval(11, 10)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, 2.0])
+    def test_rejects_degenerate_confidence(self, confidence):
+        with pytest.raises(ValueError):
+            proportion_interval(5, 10, confidence)
 
 
 class TestCountInterval:
